@@ -1,0 +1,87 @@
+"""Experiment ``fig3``: the worst-case families of Figures 1 and 3.
+
+Regenerates the paper's analytical results as measurements: on the
+factor-``k`` family, basic- and sorted-greedy really produce makespan
+``k`` while the exact algorithm (and expected-greedy's foolers'
+counterparts) certify the optimum of 1 — the gap grows without bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    basic_greedy,
+    double_sorted,
+    exact_singleproc_unit,
+    expected_greedy,
+    harvey_optimal_semi_matching,
+    sorted_greedy,
+)
+from repro.generators import (
+    double_sorted_fooler,
+    expected_greedy_fooler,
+    fig1_toy,
+    fig3_family,
+)
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8, 10])
+def test_fig3_greedy_gap(benchmark, k):
+    graph = fig3_family(k)
+
+    matching = benchmark(sorted_greedy, graph)
+
+    opt = exact_singleproc_unit(graph).optimal_makespan
+    benchmark.extra_info.update(
+        {
+            "k": k,
+            "greedy_makespan": matching.makespan,
+            "optimal_makespan": opt,
+            "gap_factor": matching.makespan / opt,
+        }
+    )
+    assert matching.makespan == float(k)
+    assert opt == 1
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8, 10])
+def test_fig3_exact_cost(benchmark, k):
+    """Cost of certifying optimality on the adversarial family."""
+    graph = fig3_family(k)
+    rep = benchmark(exact_singleproc_unit, graph)
+    assert rep.optimal_makespan == 1
+
+
+@pytest.mark.parametrize("k", [4, 8])
+def test_fig3_harvey_cost(benchmark, k):
+    graph = fig3_family(k)
+    m = benchmark(harvey_optimal_semi_matching, graph)
+    assert m.makespan == 1.0
+
+
+def test_fig1_toy_gap(benchmark):
+    graph = fig1_toy()
+    m = benchmark(basic_greedy, graph)
+    assert m.makespan == 2.0
+    assert sorted_greedy(graph).makespan == 1.0
+
+
+def test_double_sorted_fooler(benchmark):
+    graph = double_sorted_fooler()
+    m = benchmark(double_sorted, graph)
+    benchmark.extra_info.update(
+        {
+            "double_sorted": m.makespan,
+            "expected": expected_greedy(graph).makespan,
+        }
+    )
+    assert m.makespan == 3.0
+    assert expected_greedy(graph).makespan == 1.0
+
+
+def test_expected_greedy_fooler(benchmark):
+    graph = expected_greedy_fooler()
+    m = benchmark(expected_greedy, graph)
+    assert m.makespan == 3.0
+    assert exact_singleproc_unit(graph).optimal_makespan == 1

@@ -1,0 +1,70 @@
+"""Ablation: the GRASP metaheuristic against the paper's single-shot
+heuristics (extension of the paper's future-work direction).
+
+Measures quality-vs-cost of multi-start randomised greedy + local search
+at several iteration budgets, against EVG (the paper's best) and the
+lower bound, plus the effect of kernelisation (preprocessing) on
+instance size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    expected_vector_greedy_hyp,
+    grasp,
+    preprocess,
+    sorted_greedy_hyp,
+)
+
+from conftest import cached_instance, cached_lower_bound
+
+
+@pytest.mark.parametrize("iterations", [1, 4, 8])
+def test_grasp_budget(benchmark, iterations):
+    hg = cached_instance("MG-5-1-MP", "related", 0)
+
+    rep = benchmark.pedantic(
+        grasp,
+        args=(hg,),
+        kwargs={"iterations": iterations, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    lb = cached_lower_bound("MG-5-1-MP", "related", 0)
+    evg = expected_vector_greedy_hyp(hg).makespan
+    benchmark.extra_info.update(
+        {
+            "grasp_quality": round(rep.best_makespan / lb, 3),
+            "EVG_quality": round(evg / lb, 3),
+            "best_iteration": rep.best_iteration,
+        }
+    )
+    # GRASP at any budget is at least as good as plain SGH
+    assert rep.best_makespan <= sorted_greedy_hyp(hg).makespan + 1e-9
+
+
+@pytest.mark.parametrize("weights", ["unit", "related"])
+def test_preprocessing_kernel_size(benchmark, weights):
+    """How much do forced tasks and dominated configurations shrink the
+    paper's instances?"""
+    hg = cached_instance("HLM-5-1-MP", weights, 0)
+
+    red = benchmark(preprocess, hg)
+
+    benchmark.extra_info.update(
+        {
+            "tasks": hg.n_tasks,
+            "free_tasks": int(red.free_tasks.size),
+            "hedges": hg.n_hedges,
+            "kernel_hedges": (
+                red.kernel.n_hedges if red.kernel is not None else 0
+            ),
+            "dropped_dominated": red.dropped_configurations,
+        }
+    )
+    assert red.lift(
+        sorted_greedy_hyp(red.kernel) if red.kernel is not None else None
+    ).makespan > 0

@@ -1,0 +1,59 @@
+"""Ablation ``ablation-exact``: matching engines and search strategies
+inside the exact SINGLEPROC-UNIT algorithm.
+
+The paper used MatchMaker's push-relabel code and a linear scan over the
+deadline ``D``, noting that bisection would improve the worst case.  This
+benchmark quantifies both choices: four engines (pure-Python Kuhn,
+Hopcroft-Karp, push-relabel; C Hopcroft-Karp via scipy) times two search
+strategies, on a FewgManyg bipartite workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.exact_unit import exact_singleproc_unit
+from repro.generators import fewgmanyg_bipartite
+from repro.matching import ENGINES
+
+_N, _P, _G, _D = 1280, 256, 32, 10
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return fewgmanyg_bipartite(_N, _P, _G, _D, seed=0)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_engine_single_probe(benchmark, graph, engine):
+    """One capacity-5 feasibility probe (the exact algorithm's inner step)."""
+    run = ENGINES[engine]
+
+    res = benchmark(
+        run, graph.n_tasks, graph.n_procs, graph.task_ptr, graph.task_adj, 5
+    )
+
+    benchmark.extra_info["cardinality"] = res.cardinality
+
+
+@pytest.mark.parametrize("engine", ["scipy", "push-relabel"])
+@pytest.mark.parametrize("strategy", ["linear", "bisection"])
+def test_exact_end_to_end(benchmark, graph, engine, strategy):
+    rep = benchmark(
+        exact_singleproc_unit, graph, strategy=strategy, engine=engine
+    )
+    benchmark.extra_info.update(
+        {"optimum": rep.optimal_makespan, "probes": len(rep.probes)}
+    )
+
+
+def test_bisection_fewer_probes(graph, benchmark):
+    """Bisection's probe count is logarithmic versus linear's M_opt."""
+    lin = exact_singleproc_unit(graph, strategy="linear")
+
+    rep = benchmark(exact_singleproc_unit, graph, strategy="bisection")
+
+    benchmark.extra_info.update(
+        {"linear_probes": len(lin.probes), "bisect_probes": len(rep.probes)}
+    )
+    assert len(rep.probes) <= len(lin.probes) + 1

@@ -1,0 +1,70 @@
+"""Extension experiment: the price of being online.
+
+The offline greedies see the whole instance and sort tasks by degree; the
+online scheduler must place each arriving task irrevocably.  This bench
+measures (a) the throughput of the online scheduler and (b) the makespan
+penalty relative to offline SGH and the lower bound, for both online
+policies, plus the load-oblivious baselines for context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    OnlineScheduler,
+    first_fit,
+    min_work,
+    random_assignment,
+    sorted_greedy_hyp,
+)
+
+from conftest import cached_instance, cached_lower_bound
+
+
+@pytest.mark.parametrize("policy", ["greedy", "vector"])
+@pytest.mark.parametrize("weights", ["unit", "related"])
+def test_online_policy(benchmark, policy, weights):
+    hg = cached_instance("FG-5-1-MP", weights, 0)
+
+    sched = benchmark(
+        OnlineScheduler.replay_hypergraph, hg, policy=policy
+    )
+
+    lb = cached_lower_bound("FG-5-1-MP", weights, 0)
+    offline = sorted_greedy_hyp(hg).makespan
+    benchmark.extra_info.update(
+        {
+            "online_quality": round(sched.makespan / lb, 3),
+            "offline_quality": round(offline / lb, 3),
+            "price_of_online": round(sched.makespan / offline, 3),
+        }
+    )
+    assert sched.makespan >= lb - 1e-9
+
+
+@pytest.mark.parametrize(
+    "baseline", ["first_fit", "min_work", "random"]
+)
+def test_baseline_quality(benchmark, baseline):
+    """Load-oblivious baselines: the floor the heuristics must beat."""
+    hg = cached_instance("FG-5-1-MP", "related", 0)
+    fns = {
+        "first_fit": first_fit,
+        "min_work": min_work,
+        "random": lambda h: random_assignment(h, seed=0),
+    }
+
+    m = benchmark(fns[baseline], hg)
+
+    lb = cached_lower_bound("FG-5-1-MP", "related", 0)
+    sgh = sorted_greedy_hyp(hg).makespan
+    benchmark.extra_info.update(
+        {
+            "baseline_quality": round(m.makespan / lb, 3),
+            "SGH_quality": round(sgh / lb, 3),
+        }
+    )
+    # the paper's simplest heuristic clearly beats load-oblivious picks
+    assert sgh <= m.makespan

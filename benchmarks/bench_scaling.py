@@ -1,0 +1,36 @@
+"""Extension experiment: running-time scaling of the four heuristics.
+
+The paper reports average times on fixed instance sizes; this bench
+sweeps ``n`` at fixed ``n/p`` ratio to expose the asymptotics the paper
+derives analytically: SGH/EGH are linear in the pin count, VGH/EVG carry
+the vector-comparison overhead (here with the lemma-based fast
+comparison, so also near-linear — the naive variant's quadratic blow-up
+is covered in bench_ablation.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_hypergraph_algorithm
+from repro.generators import generate_multiproc
+
+SIZES = [(320, 64), (1280, 256), (5120, 1024)]
+
+
+@pytest.mark.parametrize("algo", ["SGH", "VGH", "EGH", "EVG"])
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"n{s[0]}")
+def test_heuristic_scaling(benchmark, algo, size):
+    n, p = size
+    hg = generate_multiproc(
+        n, p, family="fewgmanyg", g=32, dv=5, dh=10,
+        weights="related", seed=0,
+    )
+    fn = get_hypergraph_algorithm(algo)
+
+    m = benchmark(fn, hg)
+
+    benchmark.extra_info.update(
+        {"n": n, "p": p, "pins": hg.total_pins, "makespan": m.makespan}
+    )
+    assert m.makespan > 0

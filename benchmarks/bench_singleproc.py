@@ -1,0 +1,99 @@
+"""Experiment ``singleproc``: Section V-B — the bipartite greedies against
+the exact algorithm on HiLo and FewgManyg instances (detailed d = 10).
+
+Shape expectations from the paper's summary:
+
+* basic-greedy is fastest but worst;
+* sorted-greedy close to basic in time, visibly better in quality;
+* double-sorted adds nothing over sorted;
+* expected-greedy gives the best quality (clearly so on HiLo) at higher
+  cost; the exact algorithm is slowest.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_bipartite_algorithm
+from repro.algorithms.exact_unit import exact_singleproc_unit
+from repro.experiments.singleproc import GREEDY_NAMES, SingleProcSpec
+
+SCALE = os.environ.get("SEMIMATCH_BENCH_SCALE", "small")
+_SIZES = {
+    "small": ((5, 1),),
+    "medium": ((5, 1), (20, 1), (20, 4)),
+    "full": ((5, 1), (20, 1), (20, 4), (80, 1), (80, 4), (80, 16)),
+}[SCALE]
+
+
+def _specs():
+    out = []
+    for prefix, family, g in (
+        ("FG", "fewgmanyg", 32),
+        ("MG", "fewgmanyg", 128),
+        ("HLF", "hilo", 32),
+        ("HLM", "hilo", 128),
+    ):
+        for x, y in _SIZES:
+            out.append(
+                SingleProcSpec(
+                    name=f"{prefix}-{x}-{y}-SP",
+                    family=family,
+                    g=g,
+                    n=256 * x,
+                    p=256 * y,
+                    d=10,
+                )
+            )
+    return tuple(out)
+
+
+@pytest.mark.parametrize("algo", GREEDY_NAMES)
+@pytest.mark.parametrize("spec", _specs(), ids=lambda s: s.name)
+def test_greedy_quality_vs_exact(benchmark, spec, algo):
+    graph = spec.generate(0)
+    fn = get_bipartite_algorithm(algo)
+
+    matching = benchmark(fn, graph)
+
+    opt = exact_singleproc_unit(graph).optimal_makespan
+    benchmark.extra_info.update(
+        {
+            "makespan": matching.makespan,
+            "optimum": opt,
+            "quality": round(matching.makespan / opt, 3),
+        }
+    )
+    assert matching.makespan >= opt
+
+
+@pytest.mark.parametrize("spec", _specs(), ids=lambda s: s.name)
+def test_exact_algorithm_time(benchmark, spec):
+    """The exact algorithm's cost — the baseline the greedies undercut."""
+    graph = spec.generate(0)
+    rep = benchmark(exact_singleproc_unit, graph)
+    benchmark.extra_info["optimum"] = rep.optimal_makespan
+    benchmark.extra_info["probes"] = len(rep.probes)
+
+
+def test_expected_beats_basic_on_hilo(benchmark):
+    """Section V-B: on HiLo instances expected-greedy's advantage over
+    basic-greedy is pronounced."""
+    spec = SingleProcSpec(
+        name="HLF-5-1-SP", family="hilo", g=32, n=1280, p=256, d=10
+    )
+    graph = spec.generate(0)
+    basic = get_bipartite_algorithm("basic-greedy")
+    expected = get_bipartite_algorithm("expected-greedy")
+
+    def both():
+        return basic(graph).makespan, expected(graph).makespan
+
+    mk_basic, mk_expected = benchmark(both)
+    benchmark.extra_info.update(
+        {"basic": mk_basic, "expected": mk_expected}
+    )
+    assert mk_expected <= mk_basic

@@ -1,0 +1,74 @@
+"""Experiment ``table3``: the paper's Table III — quality and time on
+*related-weight* instances (``w_h = ceil(min_s * max_s / s_h)``).
+
+Shape expectations from the paper:
+
+* the expected strategies win: EGH beats SGH, EVG is the best overall;
+* the vector strategy alone (VGH) does not improve on SGH here;
+* timing ranking unchanged (SGH ~ EGH fast, VGH slower, EVG slowest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_hypergraph_algorithm
+from repro.experiments.instances import PAPER_TABLE3
+from repro.experiments.runner import DEFAULT_ALGOS
+
+from conftest import SEEDS, bench_specs, cached_instance, cached_lower_bound
+
+_ALGO_COLUMN = {a: i + 1 for i, a in enumerate(DEFAULT_ALGOS)}
+
+
+@pytest.mark.parametrize("algo", DEFAULT_ALGOS)
+@pytest.mark.parametrize("spec", bench_specs(), ids=lambda s: s.name)
+def test_weighted_quality(benchmark, spec, algo):
+    fn = get_hypergraph_algorithm(algo)
+    hg = cached_instance(spec.name, "related", 0)
+
+    matching = benchmark(fn, hg)
+
+    ratios = []
+    for s in range(SEEDS):
+        inst = cached_instance(spec.name, "related", s)
+        lb = cached_lower_bound(spec.name, "related", s)
+        ratios.append(fn(inst).makespan / lb)
+    measured = float(np.median(ratios))
+    paper = PAPER_TABLE3[spec.name + "-W"]
+    benchmark.extra_info.update(
+        {
+            "quality_median": round(measured, 3),
+            "paper_quality": paper[_ALGO_COLUMN[algo]],
+            "lower_bound": cached_lower_bound(spec.name, "related", 0),
+            "paper_lb": paper[0],
+        }
+    )
+    assert matching.makespan >= 1.0
+    assert measured < max(4.0, 2.0 * paper[_ALGO_COLUMN[algo]])
+
+
+@pytest.mark.parametrize("spec", bench_specs(), ids=lambda s: s.name)
+def test_expected_strategy_helps_on_weights(benchmark, spec):
+    """Table III's headline: median EGH quality <= median SGH quality
+    (with slack for sampling noise) on related-weight instances."""
+    sgh = get_hypergraph_algorithm("SGH")
+    egh = get_hypergraph_algorithm("EGH")
+
+    def both():
+        inst = cached_instance(spec.name, "related", 0)
+        return sgh(inst).makespan, egh(inst).makespan
+
+    mk_sgh, mk_egh = benchmark(both)
+    q = []
+    for s in range(SEEDS):
+        inst = cached_instance(spec.name, "related", s)
+        lb = cached_lower_bound(spec.name, "related", s)
+        q.append((sgh(inst).makespan / lb, egh(inst).makespan / lb))
+    med_sgh = float(np.median([a for a, _ in q]))
+    med_egh = float(np.median([b for _, b in q]))
+    benchmark.extra_info.update(
+        {"SGH": round(med_sgh, 3), "EGH": round(med_egh, 3)}
+    )
+    assert med_egh <= med_sgh + 0.05

@@ -1,0 +1,77 @@
+"""Extension experiment: weighted SINGLEPROC — heuristics vs the
+2-approximation.
+
+The paper evaluates only unit bipartite instances (the weighted problem
+is NP-complete).  This bench covers the weighted side the library adds:
+random-weight FewgManyg bipartite instances, comparing the greedy
+heuristics against the certified LST 2-approximation and the averaged-
+work lower bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    basic_greedy,
+    expected_greedy,
+    lst_approximation,
+    sorted_greedy,
+)
+from repro.algorithms.lower_bounds import averaged_work_bound_bipartite
+from repro.generators import fewgmanyg_bipartite
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    g = fewgmanyg_bipartite(640, 128, 16, 10, seed=0)
+    rng = np.random.default_rng(1)
+    return g.with_weights(
+        rng.integers(1, 20, size=g.n_edges).astype(float)
+    )
+
+
+@pytest.mark.parametrize(
+    "algo",
+    [basic_greedy, sorted_greedy, expected_greedy],
+    ids=lambda f: f.__name__,
+)
+def test_weighted_greedy(benchmark, weighted_graph, algo):
+    m = benchmark(algo, weighted_graph)
+    lb = averaged_work_bound_bipartite(weighted_graph, integral=False)
+    benchmark.extra_info["quality_vs_lb"] = round(m.makespan / lb, 3)
+    assert m.makespan >= lb
+
+
+def test_lst_two_approximation(benchmark, weighted_graph):
+    rep = benchmark.pedantic(
+        lst_approximation, args=(weighted_graph,), rounds=1, iterations=1
+    )
+    lb = averaged_work_bound_bipartite(weighted_graph, integral=False)
+    benchmark.extra_info.update(
+        {
+            "quality_vs_lb": round(rep.matching.makespan / lb, 3),
+            "certified_threshold": round(rep.threshold, 2),
+            "certified_ratio": round(rep.certified_ratio, 3),
+            "lp_rounds": rep.lp_rounds,
+        }
+    )
+    # the certificate: makespan within 2x of the LP threshold <= OPT
+    assert rep.matching.makespan <= 2 * rep.threshold + 1e-6
+
+
+def test_greedy_vs_lst_quality(benchmark, weighted_graph):
+    """How close do the O(E) greedies get to the LP-based guarantee?"""
+
+    def both():
+        return (
+            expected_greedy(weighted_graph).makespan,
+            sorted_greedy(weighted_graph).makespan,
+        )
+
+    mk_exp, mk_sorted = benchmark(both)
+    benchmark.extra_info.update(
+        {"expected": mk_exp, "sorted": mk_sorted}
+    )
+    assert mk_exp > 0 and mk_sorted > 0

@@ -1,0 +1,56 @@
+"""Experiment ``theorem1``: the X3C reduction in action.
+
+Measures the Theorem 1 pipeline: build the MULTIPROC-UNIT instance from a
+planted X3C yes-instance, certify makespan 1 with the exhaustive solver,
+and extract the exact cover.  Also measures the greedy heuristics' gap on
+reduction instances — they may legitimately return 2 (which is exactly
+why no ``(2 - eps)``-approximation can exist)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import exhaustive_multiproc, sorted_greedy_hyp
+from repro.generators import (
+    cover_from_matching,
+    is_exact_cover,
+    planted_x3c,
+    x3c_to_multiproc,
+)
+
+
+@pytest.mark.parametrize("q", [3, 5, 7])
+def test_reduction_build(benchmark, q):
+    inst = planted_x3c(q, extra_triples=2 * q, seed=0)
+
+    hg = benchmark(x3c_to_multiproc, inst)
+
+    assert hg.n_tasks == q
+    assert hg.n_procs == 3 * q
+    benchmark.extra_info.update(
+        {"q": q, "hyperedges": hg.n_hedges, "pins": hg.total_pins}
+    )
+
+
+@pytest.mark.parametrize("q", [3, 4, 5])
+def test_solve_planted_cover(benchmark, q):
+    inst = planted_x3c(q, extra_triples=q, seed=1)
+    hg = x3c_to_multiproc(inst)
+
+    matching = benchmark(exhaustive_multiproc, hg)
+
+    assert matching.makespan == 1.0
+    cover = cover_from_matching(inst, matching)
+    assert is_exact_cover(inst, cover)
+
+
+@pytest.mark.parametrize("q", [5, 10, 20])
+def test_greedy_on_reduction(benchmark, q):
+    """Greedy cost on reduction instances, and the 1-vs-2 gap it may hit."""
+    inst = planted_x3c(q, extra_triples=3 * q, seed=2)
+    hg = x3c_to_multiproc(inst)
+
+    matching = benchmark(sorted_greedy_hyp, hg)
+
+    benchmark.extra_info["greedy_makespan"] = matching.makespan
+    assert 1.0 <= matching.makespan

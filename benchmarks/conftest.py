@@ -1,0 +1,63 @@
+"""Shared benchmark configuration.
+
+Environment knobs (so the same files serve smoke runs and full paper
+reproductions):
+
+* ``SEMIMATCH_BENCH_SCALE`` — ``small`` (default; the n=1280 Table I rows),
+  ``medium`` (n <= 5120) or ``full`` (all 24 families);
+* ``SEMIMATCH_BENCH_SEEDS`` — random instances per family (default 3;
+  paper protocol is 10).
+
+Quality numbers (makespan / LB and the paper's printed value) are attached
+to each benchmark via ``extra_info``, so ``--benchmark-json`` output
+carries the full paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.instances import (
+    MEDIUM_SPECS,
+    SMALL_SPECS,
+    TABLE1_SPECS,
+    InstanceSpec,
+)
+
+SCALE = os.environ.get("SEMIMATCH_BENCH_SCALE", "small")
+SEEDS = int(os.environ.get("SEMIMATCH_BENCH_SEEDS", "3"))
+
+_SPECS = {
+    "small": SMALL_SPECS,
+    "medium": MEDIUM_SPECS,
+    "full": TABLE1_SPECS,
+}[SCALE]
+
+
+def bench_specs() -> tuple[InstanceSpec, ...]:
+    """The Table I rows selected by ``SEMIMATCH_BENCH_SCALE``."""
+    return _SPECS
+
+
+@lru_cache(maxsize=None)
+def cached_instance(name: str, weights: str, seed: int):
+    """Generate (once) a named instance under a weight scheme."""
+    from repro.experiments.instances import spec_by_name
+
+    spec = spec_by_name(name).with_weights(weights)
+    return spec.generate(seed)
+
+
+@lru_cache(maxsize=None)
+def cached_lower_bound(name: str, weights: str, seed: int) -> float:
+    from repro.algorithms import averaged_work_bound
+
+    return averaged_work_bound(cached_instance(name, weights, seed))
+
+
+@pytest.fixture(scope="session")
+def seeds() -> range:
+    return range(SEEDS)

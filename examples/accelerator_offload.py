@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Resource-constrained sequential tasks — the SINGLEPROC problem.
+
+A batch of unit-time requests must be placed on servers, but each request
+can only run where its data lives (the "resource constraints" of the
+title).  This is SINGLEPROC-UNIT: solvable exactly in polynomial time.
+We build an eligibility graph with the paper's HiLo generator, solve it
+exactly, and show how close each greedy heuristic lands — reproducing the
+Section V-B experiment at demo scale.
+
+Run:  python examples/accelerator_offload.py
+"""
+
+import time
+
+from repro import (
+    basic_greedy,
+    double_sorted,
+    exact_singleproc_unit,
+    expected_greedy,
+    harvey_optimal_semi_matching,
+    sorted_greedy,
+)
+from repro.generators import hilo_bipartite
+
+
+def main() -> None:
+    n_requests, n_servers = 1280, 256
+    graph = hilo_bipartite(n_requests, n_servers, g=32, d=10)
+    print(
+        f"{n_requests} unit requests, {n_servers} servers, "
+        f"{graph.n_edges} eligibility edges "
+        f"(HiLo structure: contended neighbourhoods)"
+    )
+
+    t0 = time.perf_counter()
+    report = exact_singleproc_unit(graph)
+    t_exact = time.perf_counter() - t0
+    opt = report.optimal_makespan
+    print(
+        f"\nexact algorithm: optimal makespan {opt} "
+        f"({len(report.probes)} matching probes, {t_exact:.3f}s)"
+    )
+
+    t0 = time.perf_counter()
+    harvey = harvey_optimal_semi_matching(graph)
+    t_h = time.perf_counter() - t0
+    print(
+        f"Harvey et al. alternating-path algorithm agrees: "
+        f"{harvey.makespan:g} ({t_h:.3f}s)"
+    )
+
+    print(f"\n{'heuristic':<18} {'makespan':>9} {'vs opt':>7} {'time':>9}")
+    for name, fn in [
+        ("basic-greedy", basic_greedy),
+        ("sorted-greedy", sorted_greedy),
+        ("double-sorted", double_sorted),
+        ("expected-greedy", expected_greedy),
+    ]:
+        t0 = time.perf_counter()
+        m = fn(graph)
+        dt = time.perf_counter() - t0
+        print(
+            f"{name:<18} {m.makespan:>9g} {m.makespan / opt:>7.3f} "
+            f"{dt * 1e3:>7.1f}ms"
+        )
+
+    print(
+        "\nTakeaway (paper Section V-B): sorting by degree is nearly free"
+        "\nand already strong; expected loads help most on HiLo-style"
+        "\ncontention; the exact algorithm certifies optimality."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Theorem 1 live: solving Exact Cover by 3-Sets with a scheduler.
+
+The NP-completeness reduction of Section III runs in both directions —
+so a MULTIPROC solver *is* an X3C solver.  We plant an exact cover,
+reduce to scheduling, certify makespan 1 with the exhaustive solver, and
+read the cover back.  We also show the (2 - eps)-inapproximability gap:
+on a no-instance the optimum jumps straight from 1 to 2.
+
+Run:  python examples/reduction_demo.py
+"""
+
+from repro.algorithms import exhaustive_multiproc, sorted_greedy_hyp
+from repro.generators import (
+    X3CInstance,
+    cover_from_matching,
+    is_exact_cover,
+    planted_x3c,
+    x3c_to_multiproc,
+)
+
+
+def main() -> None:
+    # --- a planted yes-instance --------------------------------------
+    q = 4
+    inst = planted_x3c(q, extra_triples=6, seed=7)
+    print(f"X3C instance: {inst.n_elements} elements, "
+          f"{len(inst.triples)} triples")
+    for t in inst.triples:
+        print(f"  {t}")
+
+    hg = x3c_to_multiproc(inst)
+    print(
+        f"\nReduction: {hg.n_tasks} tasks (cover slots), "
+        f"{hg.n_procs} processors (elements), "
+        f"{hg.n_hedges} hyperedges (task x triple)"
+    )
+
+    m = exhaustive_multiproc(hg)
+    print(f"optimal makespan: {m.makespan:g}")
+    assert m.makespan == 1.0, "planted instance must have a cover"
+
+    cover = cover_from_matching(inst, m)
+    print("extracted exact cover:")
+    for t in cover:
+        print(f"  {t}")
+    assert is_exact_cover(inst, cover)
+
+    greedy_mk = sorted_greedy_hyp(hg).makespan
+    print(
+        f"\ngreedy heuristic on the same instance: makespan {greedy_mk:g} "
+        f"(>= 2 means it missed the cover — this is exactly why no "
+        f"(2 - eps)-approximation exists unless P=NP)"
+    )
+
+    # --- a no-instance -------------------------------------------------
+    no_inst = X3CInstance(
+        q=2, triples=((0, 1, 2), (0, 3, 4), (0, 4, 5), (0, 2, 5))
+    )
+    no_hg = x3c_to_multiproc(no_inst)
+    no_mk = exhaustive_multiproc(no_hg).makespan
+    print(
+        f"\nno-instance (every triple contains element 0): optimum "
+        f"{no_mk:g} — the Theorem 1 gap in the flesh"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The paper's worst-case constructions, executed (Figures 1 and 3).
+
+Section IV-B proves the greedy heuristics carry no approximation
+guarantee by exhibiting adversarial families.  This script builds each
+construction and runs every heuristic on it, reproducing the narrative:
+
+* Fig. 1 — basic-greedy doubles the optimum on two tasks;
+* Fig. 3 — basic/sorted-greedy are a factor k from optimal, for any k;
+* the Section IV-B3 instance fools double-sorted but not expected-greedy;
+* the Section IV-B4 instance fools expected-greedy too.
+
+Run:  python examples/worst_cases.py
+"""
+
+from repro import (
+    basic_greedy,
+    double_sorted,
+    exact_singleproc_unit,
+    expected_greedy,
+    sorted_greedy,
+)
+from repro.generators import (
+    double_sorted_fooler,
+    expected_greedy_fooler,
+    fig1_toy,
+    fig3_family,
+)
+
+ALGOS = [
+    ("basic-greedy", basic_greedy),
+    ("sorted-greedy", sorted_greedy),
+    ("double-sorted", double_sorted),
+    ("expected-greedy", expected_greedy),
+]
+
+
+def report(title: str, graph) -> None:
+    opt = exact_singleproc_unit(graph).optimal_makespan
+    print(f"\n{title}")
+    print(f"  tasks={graph.n_tasks} procs={graph.n_procs} optimum={opt}")
+    for name, fn in ALGOS:
+        mk = fn(graph).makespan
+        marker = "  <- fooled" if mk > opt else ""
+        print(f"  {name:<16} makespan {mk:g}{marker}")
+
+
+def main() -> None:
+    report("Figure 1 toy (T1 on P1/P2, T2 on P1 only)", fig1_toy())
+
+    for k in (3, 5, 7):
+        report(f"Figure 3 family, k={k} (greedy gap grows with k)",
+               fig3_family(k))
+
+    report(
+        "Section IV-B3: in-degrees equalised — double-sorted's tie-break "
+        "is useless",
+        double_sorted_fooler(),
+    )
+    report(
+        "Section IV-B4: expected loads tie at 1.5 — expected-greedy "
+        "falls too",
+        expected_greedy_fooler(),
+    )
+
+    print(
+        "\nConclusion (paper): every greedy can be arbitrarily far from"
+        "\noptimal in theory, yet Section V shows they are near-optimal on"
+        "\nrealistic random workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

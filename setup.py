@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml.  This file exists so that
+``pip install -e .`` / ``python setup.py develop`` keep working on minimal
+offline environments whose setuptools lacks the ``wheel`` package (editable
+installs via PEP 660 require building a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""repro — semi-matching algorithms for scheduling parallel tasks under
+resource constraints.
+
+A complete, from-scratch Python implementation of Benoit, Langguth and
+Uçar, *"Semi-matching algorithms for scheduling parallel tasks under
+resource constraints"*, IEEE IPDPSW 2013: the SINGLEPROC/MULTIPROC
+problem models, the exact polynomial algorithm for unit bipartite
+instances, all greedy heuristics of Sections IV-B and IV-D, the lower
+bounds, the random instance generators of the evaluation, the worst-case
+constructions, the Theorem 1 reduction, and a benchmark harness that
+regenerates every table of the paper.
+
+Quick start
+-----------
+>>> from repro import SchedulingProblem, solve
+>>> prob = SchedulingProblem(processors=["cpu0", "cpu1", "gpu"])
+>>> _ = prob.add_task("render", [(("gpu",), 2.0), (("cpu0", "cpu1"), 5.0)])
+>>> _ = prob.add_task("encode", [(("cpu0",), 3.0), (("cpu1",), 3.0)])
+>>> schedule = solve(prob)
+>>> schedule.makespan
+3.0
+
+Package map
+-----------
+* :mod:`repro.core` — graphs, hypergraphs, semi-matching results;
+* :mod:`repro.matching` — maximum bipartite matching engines;
+* :mod:`repro.algorithms` — exact solvers, heuristics, bounds;
+* :mod:`repro.generators` — random families, worst cases, X3C;
+* :mod:`repro.sched` — named scheduling problems and ``solve``;
+* :mod:`repro.experiments` — the paper's tables;
+* :mod:`repro.io` — JSON serialisation.
+"""
+
+from .algorithms import (
+    basic_greedy,
+    double_sorted,
+    exact_singleproc_unit,
+    expected_greedy,
+    expected_greedy_hyp,
+    expected_vector_greedy_hyp,
+    harvey_optimal_semi_matching,
+    local_search,
+    sorted_greedy,
+    sorted_greedy_hyp,
+    vector_greedy_hyp,
+)
+from .algorithms.lower_bounds import (
+    averaged_work_bound,
+    combined_bound,
+    critical_task_bound,
+)
+from .core import (
+    BipartiteGraph,
+    GraphStructureError,
+    HyperSemiMatching,
+    InfeasibleError,
+    InvalidMatchingError,
+    SemiMatchError,
+    SemiMatching,
+    SolverError,
+    TaskHypergraph,
+)
+from .generators import generate_multiproc
+from .sched import Schedule, SchedulingProblem, TaskSpec, solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "BipartiteGraph",
+    "TaskHypergraph",
+    "SemiMatching",
+    "HyperSemiMatching",
+    "SemiMatchError",
+    "GraphStructureError",
+    "InvalidMatchingError",
+    "SolverError",
+    "InfeasibleError",
+    # scheduling layer
+    "SchedulingProblem",
+    "TaskSpec",
+    "Schedule",
+    "solve",
+    # algorithms
+    "basic_greedy",
+    "sorted_greedy",
+    "double_sorted",
+    "expected_greedy",
+    "sorted_greedy_hyp",
+    "vector_greedy_hyp",
+    "expected_greedy_hyp",
+    "expected_vector_greedy_hyp",
+    "exact_singleproc_unit",
+    "harvey_optimal_semi_matching",
+    "local_search",
+    "averaged_work_bound",
+    "critical_task_bound",
+    "combined_bound",
+    # generators
+    "generate_multiproc",
+]

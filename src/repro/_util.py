@@ -1,0 +1,65 @@
+"""Small shared utilities: RNG normalisation, timing, array helpers."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["as_rng", "Timer", "check_1d_int", "stable_argsort"]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged, so callers can thread one RNG through a
+    pipeline of generators for reproducibility).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer used by the experiment runner.
+
+    Use as a context manager; ``elapsed`` accumulates over repeated entries
+    so a single Timer can measure a loop body.
+    """
+
+    elapsed: float = 0.0
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed += time.perf_counter() - self._t0
+
+    @contextmanager
+    def pause(self):
+        """Temporarily stop the clock inside a ``with timer:`` block."""
+        self.elapsed += time.perf_counter() - self._t0
+        try:
+            yield self
+        finally:
+            self._t0 = time.perf_counter()
+
+
+def check_1d_int(a: np.ndarray, name: str) -> np.ndarray:
+    """Return ``a`` as a contiguous 1-D int64 array, validating shape."""
+    arr = np.ascontiguousarray(a, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def stable_argsort(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort (mergesort) — deterministic tie order matters for
+    reproducing the paper's greedy visit orders."""
+    return np.argsort(keys, kind="stable")

@@ -1,0 +1,70 @@
+"""Context baselines: what the paper's heuristics must beat (extension).
+
+The paper evaluates its four hypergraph heuristics only against each other
+and the lower bound.  These reference policies anchor the comparison from
+below:
+
+* :func:`random_assignment` — pick a uniformly random configuration per
+  task (the "no scheduler" baseline; its expected loads are what
+  expected-greedy's initial ``o`` values describe);
+* :func:`first_fit` — always the first listed configuration (what a
+  system without choice-awareness would do);
+* :func:`min_work` — per task, the configuration with the least total
+  work ``w_h * |h|``, ignoring load (the policy whose perfectly-balanced
+  outcome *is* the paper's lower bound eq. (1) — the gap between its
+  actual makespan and LB measures pure imbalance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InfeasibleError
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching
+from .._util import as_rng
+
+__all__ = ["random_assignment", "first_fit", "min_work"]
+
+
+def _check(hg: TaskHypergraph) -> None:
+    if np.any(np.diff(hg.task_ptr) == 0):
+        bad = int(np.flatnonzero(np.diff(hg.task_ptr) == 0)[0])
+        raise InfeasibleError(f"task {bad} has no configuration")
+
+
+def random_assignment(
+    hg: TaskHypergraph,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> HyperSemiMatching:
+    """Uniformly random configuration per task."""
+    _check(hg)
+    rng = as_rng(seed)
+    deg = np.diff(hg.task_ptr)
+    offset = (rng.random(hg.n_tasks) * deg).astype(np.int64)
+    chosen = hg.task_hedges[hg.task_ptr[:-1] + offset]
+    return HyperSemiMatching(hg, chosen)
+
+
+def first_fit(hg: TaskHypergraph) -> HyperSemiMatching:
+    """Always the first listed configuration of every task."""
+    _check(hg)
+    chosen = hg.task_hedges[hg.task_ptr[:-1]]
+    return HyperSemiMatching(hg, chosen)
+
+
+def min_work(hg: TaskHypergraph) -> HyperSemiMatching:
+    """The least-total-work configuration per task, load-oblivious.
+
+    This is the assignment whose *perfectly balanced* cost equals the
+    paper's lower bound (1); its real makespan shows how much of the
+    heuristics' quality gap is imbalance rather than configuration choice.
+    """
+    _check(hg)
+    work = hg.hedge_w * np.diff(hg.hedge_ptr)
+    chosen = np.empty(hg.n_tasks, dtype=np.int64)
+    for i in range(hg.n_tasks):
+        hedges = hg.task_hedge_ids(i)
+        chosen[i] = int(hedges[np.argmin(work[hedges])])
+    return HyperSemiMatching(hg, chosen)

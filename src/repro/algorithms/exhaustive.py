@@ -1,0 +1,136 @@
+"""Exhaustive (branch-and-bound) optimal solvers for tiny instances.
+
+MULTIPROC is NP-complete even unweighted (Theorem 1) and weighted
+SINGLEPROC is NP-complete too, so no polynomial exact solver exists for
+them; these solvers enumerate configuration choices with pruning and are
+meant for instances of a few dozen tasks.  They serve as the ground-truth
+oracle in the test suite (heuristic quality, Theorem 1 reduction
+round-trips) and in the X3C benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bipartite import BipartiteGraph
+from ..core.errors import SolverError
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching, SemiMatching
+from .._util import stable_argsort
+
+__all__ = ["exhaustive_multiproc", "exhaustive_singleproc"]
+
+_DEFAULT_NODE_LIMIT = 5_000_000
+
+
+def exhaustive_multiproc(
+    hg: TaskHypergraph,
+    *,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+    initial_upper_bound: float | None = None,
+) -> HyperSemiMatching:
+    """Optimal MULTIPROC semi-matching by branch and bound.
+
+    Tasks are branched in non-increasing order of their cheapest work
+    (big rocks first), loads are pruned against the best makespan found so
+    far, and a per-task remaining-work bound tightens the search.  Raises
+    :class:`SolverError` after ``node_limit`` search nodes.
+    """
+    hg.validate(require_total=True)
+    n = hg.n_tasks
+    if n == 0:
+        return HyperSemiMatching(hg, np.empty(0, dtype=np.int64))
+
+    hptr, hprocs, w = hg.hedge_ptr, hg.hedge_procs, hg.hedge_w
+    pins_of = [
+        [hprocs[hptr[h] : hptr[h + 1]] for h in hg.task_hedge_ids(i)]
+        for i in range(n)
+    ]
+    hids_of = [hg.task_hedge_ids(i) for i in range(n)]
+
+    # branch order: most work first, so pruning bites early
+    cheapest_work = np.array(
+        [
+            min(w[h] * len(p_) for h, p_ in zip(hids_of[i], pins_of[i]))
+            for i in range(n)
+        ]
+    )
+    order = stable_argsort(-cheapest_work)
+
+    # seed with a greedy solution so pruning starts tight
+    from .greedy_hypergraph import sorted_greedy_hyp
+
+    seed = sorted_greedy_hyp(hg)
+    best_assign = seed.hedge_of_task.copy()
+    best_mk = seed.makespan
+    if initial_upper_bound is not None:
+        best_mk = min(best_mk, float(initial_upper_bound))
+
+    # suffix lower bound: cheapest-weight of each remaining task must land
+    # somewhere, and remaining cheapest work spread over p processors
+    cheapest_w = np.array(
+        [min(float(w[h]) for h in hids_of[i]) for i in range(n)]
+    )
+    suffix_maxw = np.zeros(n + 1)
+    suffix_work = np.zeros(n + 1)
+    for k in range(n - 1, -1, -1):
+        i = order[k]
+        suffix_maxw[k] = max(suffix_maxw[k + 1], cheapest_w[i])
+        suffix_work[k] = suffix_work[k + 1] + cheapest_work[i]
+
+    loads = np.zeros(hg.n_procs, dtype=np.float64)
+    assign = np.empty(n, dtype=np.int64)
+    nodes = 0
+    eps = 1e-9
+
+    def rec(k: int, cur_max: float) -> None:
+        nonlocal nodes, best_mk, best_assign
+        nodes += 1
+        if nodes > node_limit:
+            raise SolverError(
+                f"exhaustive search exceeded node_limit={node_limit}"
+            )
+        if cur_max >= best_mk - eps:
+            return
+        if k == n:
+            best_mk = cur_max
+            best_assign = assign.copy()
+            return
+        # remaining-work bound
+        if max(suffix_maxw[k],
+               (loads.sum() + suffix_work[k]) / hg.n_procs) >= best_mk - eps:
+            return
+        i = int(order[k])
+        # try configurations cheapest-resulting-bottleneck first
+        options = sorted(
+            zip(hids_of[i], pins_of[i]),
+            key=lambda hp: float(loads[hp[1]].max() + w[hp[0]]),
+        )
+        for h, pins in options:
+            new_max = max(cur_max, float(loads[pins].max() + w[h]))
+            if new_max >= best_mk - eps:
+                continue
+            loads[pins] += w[h]
+            assign[i] = h
+            rec(k + 1, new_max)
+            loads[pins] -= w[h]
+
+    rec(0, 0.0)
+    return HyperSemiMatching(hg, best_assign)
+
+
+def exhaustive_singleproc(
+    graph: BipartiteGraph,
+    *,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+) -> SemiMatching:
+    """Optimal (possibly weighted) SINGLEPROC semi-matching for tiny graphs.
+
+    Runs the hypergraph branch and bound on the lifted instance (each edge
+    becomes a singleton configuration).
+    """
+    lifted = TaskHypergraph.from_bipartite(graph)
+    best = exhaustive_multiproc(lifted, node_limit=node_limit)
+    # hyperedges of the lifted instance are in CSR edge order, grouped per
+    # task exactly like graph's CSR slices, so indices map one-to-one.
+    return SemiMatching(graph, best.hedge_of_task)

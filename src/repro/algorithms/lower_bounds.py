@@ -1,0 +1,146 @@
+"""Lower bounds on the optimal makespan (paper Section IV-C).
+
+The MULTIPROC heuristics cannot be compared to an exact optimum (the
+problem is NP-complete, Theorem 1), so the paper evaluates them against
+the averaged-work bound of equation (1):
+
+    ``time_i = min_{h in S_i} w_h * |h ∩ V2|``   (cheapest total work of
+    task ``i`` over its configurations), and
+
+    ``LB = (1/p) * sum_i time_i``   (perfect balance of the cheapest work).
+
+This module implements that bound, the complementary *critical-task*
+bound ``max_i min_h w_h`` (some processor runs every task's cheapest
+configuration weight), and — as an extension — the LP relaxation of the
+configuration ILP solved with scipy's HiGHS, which dominates both on
+small and medium instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bipartite import BipartiteGraph
+from ..core.errors import SolverError
+from ..core.hypergraph import TaskHypergraph
+
+__all__ = [
+    "averaged_work_bound",
+    "critical_task_bound",
+    "combined_bound",
+    "lp_relaxation_bound",
+    "averaged_work_bound_bipartite",
+]
+
+
+def averaged_work_bound(hg: TaskHypergraph, *, integral: bool | None = None) -> float:
+    """Equation (1): cheapest total work spread perfectly over ``p``.
+
+    With ``integral=True`` the bound is rounded up, which is valid whenever
+    all hyperedge weights are integers (the optimal makespan is then an
+    integer); ``None`` auto-detects integrality.  The paper's Tables II/III
+    report integer LB values, consistent with the rounded bound.
+    """
+    hg.validate(require_total=True)
+    if hg.n_procs == 0:
+        raise SolverError("no processors: lower bound undefined")
+    sizes = np.diff(hg.hedge_ptr)
+    work = hg.hedge_w * sizes  # w_h * |h ∩ V2| per hyperedge
+    # min over each task's hyperedges
+    time_i = np.full(hg.n_tasks, np.inf)
+    np.minimum.at(time_i, hg.hedge_task, work)
+    lb = float(time_i.sum() / hg.n_procs)
+    if integral is None:
+        integral = bool(np.all(hg.hedge_w == np.floor(hg.hedge_w)))
+    if integral:
+        lb = float(np.ceil(lb - 1e-9))
+    return max(lb, 0.0)
+
+
+def critical_task_bound(hg: TaskHypergraph) -> float:
+    """``max_i min_{h in S_i} w_h``: every task must pay its cheapest
+    configuration weight on some processor."""
+    hg.validate(require_total=True)
+    cheapest = np.full(hg.n_tasks, np.inf)
+    np.minimum.at(cheapest, hg.hedge_task, hg.hedge_w)
+    return float(cheapest.max()) if hg.n_tasks else 0.0
+
+
+def combined_bound(hg: TaskHypergraph) -> float:
+    """Max of the averaged-work and critical-task bounds."""
+    return max(averaged_work_bound(hg), critical_task_bound(hg))
+
+
+def averaged_work_bound_bipartite(
+    graph: BipartiteGraph, *, integral: bool | None = None
+) -> float:
+    """Equation (1) specialised to SINGLEPROC (configuration size 1)."""
+    graph.validate(require_total=True)
+    if graph.n_procs == 0:
+        raise SolverError("no processors: lower bound undefined")
+    time_i = np.full(graph.n_tasks, np.inf)
+    owner = np.repeat(
+        np.arange(graph.n_tasks, dtype=np.int64), np.diff(graph.task_ptr)
+    )
+    np.minimum.at(time_i, owner, graph.weights)
+    lb = float(time_i.sum() / graph.n_procs)
+    if integral is None:
+        integral = bool(np.all(graph.weights == np.floor(graph.weights)))
+    if integral:
+        lb = float(np.ceil(lb - 1e-9))
+    return max(lb, 0.0)
+
+
+def lp_relaxation_bound(
+    hg: TaskHypergraph, *, max_hedges: int = 200_000
+) -> float:
+    """LP relaxation of the configuration ILP (extension; dominates eq. (1)).
+
+    Minimise ``M`` subject to ``sum_{h in S_i} x_h = 1`` per task and
+    ``sum_{h ∋ u} w_h x_h <= M`` per processor, ``x >= 0``.  Solved with
+    scipy's HiGHS on sparse constraint matrices.  ``max_hedges`` guards
+    against accidentally shipping a huge instance to the LP solver.
+    """
+    from scipy.optimize import linprog
+    from scipy.sparse import coo_matrix, hstack
+
+    hg.validate(require_total=True)
+    nh, nt, p = hg.n_hedges, hg.n_tasks, hg.n_procs
+    if nh > max_hedges:
+        raise SolverError(
+            f"instance has {nh} hyperedges; raise max_hedges (= {max_hedges}) "
+            "to solve the LP anyway"
+        )
+    # variables: x_0..x_{nh-1}, M
+    # equality: one chosen configuration per task (fractionally)
+    a_eq = coo_matrix(
+        (np.ones(nh), (hg.hedge_task, np.arange(nh))), shape=(nt, nh)
+    )
+    a_eq = hstack([a_eq, coo_matrix((nt, 1))], format="csr")
+    b_eq = np.ones(nt)
+    # inequality: per-processor load minus M <= 0
+    sizes = np.diff(hg.hedge_ptr)
+    rows = hg.hedge_procs
+    cols = np.repeat(np.arange(nh, dtype=np.int64), sizes)
+    vals = np.repeat(hg.hedge_w, sizes)
+    a_ub = coo_matrix((vals, (rows, cols)), shape=(p, nh))
+    a_ub = hstack(
+        [a_ub, coo_matrix((-np.ones(p), (np.arange(p), np.zeros(p, int))),
+                          shape=(p, 1))],
+        format="csr",
+    )
+    b_ub = np.zeros(p)
+    c = np.zeros(nh + 1)
+    c[-1] = 1.0
+    res = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0, None)] * (nh + 1),
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - defensive
+        raise SolverError(f"LP relaxation failed: {res.message}")
+    return float(res.fun)

@@ -1,0 +1,174 @@
+"""Online scheduling under resource constraints (extension).
+
+The paper's related work (refs [18], [19]) covers online algorithms for
+processing-set-restricted scheduling; this module provides the online
+counterpart of the library's greedy rules: tasks *arrive one at a time*
+(with their configuration set) and must be assigned irrevocably before the
+next arrival.
+
+:class:`OnlineScheduler` maintains the processor loads incrementally and
+supports two policies:
+
+* ``"greedy"`` — the online version of sorted-greedy-hyp: choose the
+  configuration with the smallest resulting bottleneck (for SINGLEPROC
+  this is classic greedy list scheduling, which is
+  ``Theta(log p)``-competitive on restricted assignment);
+* ``"vector"`` — the online version of vector-greedy-hyp: break
+  bottleneck ties by the whole affected load vector.
+
+The offline greedy algorithms visit tasks sorted by degree — information
+an online scheduler does not have; comparing the two quantifies the value
+of that sort (see ``benchmarks/bench_online.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.errors import GraphStructureError
+from ..core.loadvec import lex_compare_multisets
+
+__all__ = ["OnlineScheduler", "OnlineAssignment"]
+
+
+@dataclass(frozen=True)
+class OnlineAssignment:
+    """Record of one online placement decision."""
+
+    task: Hashable
+    config_index: int
+    processors: tuple[int, ...]
+    weight: float
+    makespan_after: float
+
+
+@dataclass
+class OnlineScheduler:
+    """Irrevocable one-task-at-a-time scheduler.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of processors (fixed up front).
+    policy:
+        ``"greedy"`` (min resulting bottleneck) or ``"vector"``
+        (descending-lex load vector).
+    """
+
+    n_procs: int
+    policy: str = "greedy"
+    _loads: np.ndarray = field(init=False, repr=False)
+    _history: list[OnlineAssignment] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise GraphStructureError("need at least one processor")
+        if self.policy not in ("greedy", "vector"):
+            raise ValueError(
+                f"policy must be 'greedy' or 'vector', got {self.policy!r}"
+            )
+        self._loads = np.zeros(self.n_procs, dtype=np.float64)
+        self._history = []
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        configurations: Sequence[tuple[Iterable[int], float]],
+        *,
+        task: Hashable = None,
+    ) -> OnlineAssignment:
+        """Place one arriving task; returns the decision record.
+
+        ``configurations`` is the task's ``S_i``: ``(processor ids,
+        weight)`` pairs.  The decision is irrevocable.
+        """
+        if not configurations:
+            raise GraphStructureError("a task needs at least one configuration")
+        parsed: list[tuple[np.ndarray, float]] = []
+        for procs, w in configurations:
+            arr = np.asarray(sorted(set(int(u) for u in procs)), dtype=np.int64)
+            if arr.size == 0:
+                raise GraphStructureError("empty processor set")
+            if arr[0] < 0 or arr[-1] >= self.n_procs:
+                raise GraphStructureError("processor id out of range")
+            if not (w > 0 and np.isfinite(w)):
+                raise GraphStructureError(f"bad weight {w!r}")
+            parsed.append((arr, float(w)))
+
+        best = 0
+        if len(parsed) > 1:
+            if self.policy == "greedy":
+                keys = [
+                    float(self._loads[pins].max() + w) for pins, w in parsed
+                ]
+                best = int(np.argmin(keys))
+            else:
+                for i in range(1, len(parsed)):
+                    if self._vector_better(parsed[i], parsed[best]):
+                        best = i
+
+        pins, w = parsed[best]
+        self._loads[pins] += w
+        record = OnlineAssignment(
+            task=task if task is not None else len(self._history),
+            config_index=best,
+            processors=tuple(int(u) for u in pins),
+            weight=w,
+            makespan_after=float(self._loads.max()),
+        )
+        self._history.append(record)
+        return record
+
+    def _vector_better(self, cand, best) -> bool:
+        pins_c, w_c = cand
+        pins_b, w_b = best
+        aff = np.union1d(pins_c, pins_b)
+        v_c = self._loads[aff].copy()
+        v_c[np.searchsorted(aff, pins_c)] += w_c
+        v_b = self._loads[aff].copy()
+        v_b[np.searchsorted(aff, pins_b)] += w_b
+        return lex_compare_multisets(v_c, v_b) < 0
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Current maximum load."""
+        return float(self._loads.max()) if self._loads.size else 0.0
+
+    def loads(self) -> np.ndarray:
+        """Current per-processor loads (a copy)."""
+        return self._loads.copy()
+
+    @property
+    def history(self) -> tuple[OnlineAssignment, ...]:
+        """All placement decisions, in arrival order."""
+        return tuple(self._history)
+
+    def competitive_ratio(self, offline_makespan: float) -> float:
+        """Makespan relative to a given offline solution's."""
+        if offline_makespan <= 0:
+            raise ValueError("offline makespan must be positive")
+        return self.makespan / offline_makespan
+
+    @staticmethod
+    def replay_hypergraph(hg, *, policy: str = "greedy",
+                          order: np.ndarray | None = None) -> "OnlineScheduler":
+        """Feed a MULTIPROC instance through the online scheduler.
+
+        ``order`` is the arrival order (default: task index order — what
+        an adversary-free stream looks like).  Returns the scheduler so
+        callers can read the final makespan and history.
+        """
+        sched = OnlineScheduler(hg.n_procs, policy=policy)
+        if order is None:
+            order = np.arange(hg.n_tasks)
+        for v in order:
+            confs = [
+                (hg.hedge_proc_set(int(h)), float(hg.hedge_w[int(h)]))
+                for h in hg.task_hedge_ids(int(v))
+            ]
+            sched.submit(confs, task=int(v))
+        return sched

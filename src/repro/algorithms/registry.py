@@ -1,0 +1,89 @@
+"""Name-indexed registries of the semi-matching algorithms.
+
+The experiment runner, CLI and benchmarks refer to algorithms by the short
+names the paper uses in its tables (SGH, VGH, EGH, EVG) or by their full
+names.  Both registries map a name to a callable taking the instance as
+the single positional argument and returning a matching object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.bipartite import BipartiteGraph
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching, SemiMatching
+from .exact_unit import exact_singleproc_unit
+from .greedy_bipartite import (
+    basic_greedy,
+    double_sorted,
+    expected_greedy,
+    sorted_greedy,
+)
+from .greedy_hypergraph import (
+    expected_greedy_hyp,
+    expected_vector_greedy_hyp,
+    sorted_greedy_hyp,
+    vector_greedy_hyp,
+)
+from .harvey import harvey_optimal_semi_matching
+
+__all__ = [
+    "BIPARTITE_ALGORITHMS",
+    "HYPERGRAPH_ALGORITHMS",
+    "get_bipartite_algorithm",
+    "get_hypergraph_algorithm",
+]
+
+
+def _exact(graph: BipartiteGraph) -> SemiMatching:
+    return exact_singleproc_unit(graph).matching
+
+
+BIPARTITE_ALGORITHMS: dict[str, Callable[[BipartiteGraph], SemiMatching]] = {
+    "basic-greedy": basic_greedy,
+    "sorted-greedy": sorted_greedy,
+    "double-sorted": double_sorted,
+    "expected-greedy": expected_greedy,
+    "exact": _exact,
+    "harvey": harvey_optimal_semi_matching,
+}
+
+HYPERGRAPH_ALGORITHMS: dict[
+    str, Callable[[TaskHypergraph], HyperSemiMatching]
+] = {
+    "SGH": sorted_greedy_hyp,
+    "VGH": vector_greedy_hyp,
+    "EGH": expected_greedy_hyp,
+    "EVG": expected_vector_greedy_hyp,
+    "sorted-greedy-hyp": sorted_greedy_hyp,
+    "vector-greedy-hyp": vector_greedy_hyp,
+    "expected-greedy-hyp": expected_greedy_hyp,
+    "expected-vector-greedy-hyp": expected_vector_greedy_hyp,
+}
+
+
+def get_bipartite_algorithm(
+    name: str,
+) -> Callable[[BipartiteGraph], SemiMatching]:
+    """Look up a SINGLEPROC algorithm by name."""
+    try:
+        return BIPARTITE_ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bipartite algorithm {name!r}; "
+            f"available: {sorted(BIPARTITE_ALGORITHMS)}"
+        ) from None
+
+
+def get_hypergraph_algorithm(
+    name: str,
+) -> Callable[[TaskHypergraph], HyperSemiMatching]:
+    """Look up a MULTIPROC algorithm by name (paper abbreviations work)."""
+    try:
+        return HYPERGRAPH_ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hypergraph algorithm {name!r}; "
+            f"available: {sorted(HYPERGRAPH_ALGORITHMS)}"
+        ) from None

@@ -1,0 +1,46 @@
+"""Core data structures: graphs, hypergraphs and semi-matching results."""
+
+from .bipartite import BipartiteGraph
+from .errors import (
+    GraphStructureError,
+    InfeasibleError,
+    InvalidMatchingError,
+    SemiMatchError,
+    SolverError,
+)
+from .hypergraph import TaskHypergraph
+from .loadvec import (
+    lex_compare_desc,
+    lex_compare_full,
+    lex_compare_multisets,
+    sorted_desc,
+)
+from .semimatching import HyperSemiMatching, SemiMatching
+from .stats import (
+    InstanceStats,
+    LoadStats,
+    bipartite_stats,
+    instance_stats,
+    load_stats,
+)
+
+__all__ = [
+    "InstanceStats",
+    "LoadStats",
+    "instance_stats",
+    "bipartite_stats",
+    "load_stats",
+    "BipartiteGraph",
+    "TaskHypergraph",
+    "SemiMatching",
+    "HyperSemiMatching",
+    "SemiMatchError",
+    "GraphStructureError",
+    "InvalidMatchingError",
+    "SolverError",
+    "InfeasibleError",
+    "sorted_desc",
+    "lex_compare_desc",
+    "lex_compare_multisets",
+    "lex_compare_full",
+]

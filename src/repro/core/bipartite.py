@@ -1,0 +1,334 @@
+"""Bipartite task-processor graphs (the SINGLEPROC instance model).
+
+A :class:`BipartiteGraph` stores the instance of the paper's SINGLEPROC
+problem (Section II-A): ``V1`` is the set of tasks, ``V2`` the set of
+processors, and an edge ``(T_i, P_u)`` with weight ``w_i^{P_u}`` means task
+``i`` may execute on processor ``u`` with that execution time.
+
+The graph is stored twice, in CSR form from the task side and in CSC form
+from the processor side, as flat NumPy arrays.  This is the idiomatic
+layout for graph kernels in numerical Python: neighbour scans are
+contiguous-slice reads, degree computations are vectorised ``diff`` calls,
+and no per-edge Python objects exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import GraphStructureError
+from .._util import check_1d_int
+
+__all__ = ["BipartiteGraph"]
+
+
+@dataclass(frozen=True)
+class BipartiteGraph:
+    """Immutable bipartite task-processor graph in CSR/CSC form.
+
+    Attributes
+    ----------
+    n_tasks, n_procs:
+        Sizes of the two vertex sets ``|V1|`` and ``|V2|``.
+    task_ptr, task_adj:
+        CSR adjacency from the task side: the neighbours (processor ids) of
+        task ``i`` are ``task_adj[task_ptr[i]:task_ptr[i+1]]``.
+    weights:
+        Edge weights aligned with ``task_adj`` (execution time of task ``i``
+        on that processor).  All ones for SINGLEPROC-UNIT.
+    proc_ptr, proc_adj:
+        CSC adjacency from the processor side: the neighbours (task ids) of
+        processor ``u`` are ``proc_adj[proc_ptr[u]:proc_ptr[u+1]]``.
+    proc_edge:
+        For each CSC position, the index of the same edge in the CSR arrays,
+        so ``weights[proc_edge]`` gives weights in CSC order.
+    """
+
+    n_tasks: int
+    n_procs: int
+    task_ptr: np.ndarray
+    task_adj: np.ndarray
+    weights: np.ndarray
+    proc_ptr: np.ndarray
+    proc_adj: np.ndarray
+    proc_edge: np.ndarray
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(
+        n_tasks: int,
+        n_procs: int,
+        task_ids: np.ndarray | Sequence[int],
+        proc_ids: np.ndarray | Sequence[int],
+        weights: np.ndarray | Sequence[float] | None = None,
+    ) -> "BipartiteGraph":
+        """Build a graph from parallel edge-endpoint arrays.
+
+        ``task_ids[k]``/``proc_ids[k]`` are the endpoints of edge ``k``;
+        ``weights[k]`` its execution time (defaults to all-ones, i.e. a
+        SINGLEPROC-UNIT instance).  Edge order within a task's neighbour
+        list follows the input order (stable), which the greedy heuristics
+        rely on for deterministic tie-breaking.
+        """
+        t = check_1d_int(np.asarray(task_ids), "task_ids")
+        p = check_1d_int(np.asarray(proc_ids), "proc_ids")
+        if t.shape != p.shape:
+            raise GraphStructureError(
+                f"task_ids and proc_ids must have equal length, "
+                f"got {t.shape[0]} and {p.shape[0]}"
+            )
+        m = t.shape[0]
+        if weights is None:
+            w = np.ones(m, dtype=np.float64)
+        else:
+            w = np.ascontiguousarray(weights, dtype=np.float64)
+            if w.shape != (m,):
+                raise GraphStructureError(
+                    f"weights must have one entry per edge ({m}), got shape {w.shape}"
+                )
+            if m and (not np.all(np.isfinite(w)) or np.any(w <= 0)):
+                raise GraphStructureError("edge weights must be finite and positive")
+        if n_tasks < 0 or n_procs < 0:
+            raise GraphStructureError("vertex counts must be non-negative")
+        if m:
+            if t.min() < 0 or t.max() >= n_tasks:
+                raise GraphStructureError("task id out of range")
+            if p.min() < 0 or p.max() >= n_procs:
+                raise GraphStructureError("processor id out of range")
+
+        # CSR from the task side (stable sort keeps input edge order per task)
+        order = np.argsort(t, kind="stable")
+        task_adj = p[order]
+        w_csr = w[order]
+        task_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+        np.add.at(task_ptr, t + 1, 1)
+        np.cumsum(task_ptr, out=task_ptr)
+
+        # CSC from the processor side, remembering the CSR edge index
+        order_p = np.argsort(task_adj, kind="stable")
+        proc_adj = np.repeat(np.arange(n_tasks, dtype=np.int64), np.diff(task_ptr))[
+            order_p
+        ]
+        proc_edge = order_p.astype(np.int64)
+        proc_ptr = np.zeros(n_procs + 1, dtype=np.int64)
+        np.add.at(proc_ptr, task_adj + 1, 1)
+        np.cumsum(proc_ptr, out=proc_ptr)
+
+        return BipartiteGraph(
+            n_tasks=n_tasks,
+            n_procs=n_procs,
+            task_ptr=task_ptr,
+            task_adj=task_adj,
+            weights=w_csr,
+            proc_ptr=proc_ptr,
+            proc_adj=proc_adj,
+            proc_edge=proc_edge,
+        )
+
+    @staticmethod
+    def from_neighbor_lists(
+        neighbors: Iterable[Iterable[int]],
+        n_procs: int | None = None,
+        weights: Iterable[Iterable[float]] | None = None,
+    ) -> "BipartiteGraph":
+        """Build a graph from per-task neighbour (and optional weight) lists.
+
+        ``neighbors[i]`` is the sequence of processor ids task ``i`` may run
+        on; this is the paper's ``S_i``.  ``n_procs`` defaults to one past
+        the largest processor id mentioned.
+        """
+        nbr = [list(s) for s in neighbors]
+        t_ids = np.concatenate(
+            [np.full(len(s), i, dtype=np.int64) for i, s in enumerate(nbr)]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        p_ids = np.concatenate(
+            [np.asarray(s, dtype=np.int64) for s in nbr]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        if n_procs is None:
+            n_procs = int(p_ids.max()) + 1 if p_ids.size else 0
+        w = None
+        if weights is not None:
+            wl = [np.asarray(list(ws), dtype=np.float64) for ws in weights]
+            if len(wl) != len(nbr) or any(
+                len(a) != len(b) for a, b in zip(wl, nbr)
+            ):
+                raise GraphStructureError(
+                    "weights must mirror the shape of neighbors"
+                )
+            w = np.concatenate(wl or [np.empty(0)])
+        return BipartiteGraph.from_edges(len(nbr), n_procs, t_ids, p_ids, w)
+
+    # ------------------------------------------------------------------
+    # properties and views
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return int(self.task_adj.shape[0])
+
+    @property
+    def is_unit(self) -> bool:
+        """True when all edge weights are 1 (a SINGLEPROC-UNIT instance)."""
+        return bool(np.all(self.weights == 1.0))
+
+    def task_degrees(self) -> np.ndarray:
+        """Out-degree ``d_v`` of every task (paper: number of choices)."""
+        return np.diff(self.task_ptr)
+
+    def proc_degrees(self) -> np.ndarray:
+        """In-degree ``d_u`` of every processor."""
+        return np.diff(self.proc_ptr)
+
+    def task_neighbors(self, i: int) -> np.ndarray:
+        """Processor ids adjacent to task ``i`` (a view, do not mutate)."""
+        return self.task_adj[self.task_ptr[i] : self.task_ptr[i + 1]]
+
+    def task_edge_weights(self, i: int) -> np.ndarray:
+        """Weights of task ``i``'s edges, aligned with :meth:`task_neighbors`."""
+        return self.weights[self.task_ptr[i] : self.task_ptr[i + 1]]
+
+    def proc_neighbors(self, u: int) -> np.ndarray:
+        """Task ids adjacent to processor ``u`` (a view, do not mutate)."""
+        return self.proc_adj[self.proc_ptr[u] : self.proc_ptr[u + 1]]
+
+    def validate(self, require_total: bool = True) -> None:
+        """Check structural invariants; raise :class:`GraphStructureError`.
+
+        With ``require_total`` every task must have at least one edge
+        (otherwise no semi-matching exists).
+        """
+        if self.task_ptr.shape != (self.n_tasks + 1,):
+            raise GraphStructureError("task_ptr has wrong length")
+        if self.proc_ptr.shape != (self.n_procs + 1,):
+            raise GraphStructureError("proc_ptr has wrong length")
+        if self.task_ptr[0] != 0 or self.task_ptr[-1] != self.n_edges:
+            raise GraphStructureError("task_ptr is not a valid CSR pointer")
+        if np.any(np.diff(self.task_ptr) < 0) or np.any(np.diff(self.proc_ptr) < 0):
+            raise GraphStructureError("CSR pointers must be non-decreasing")
+        if self.n_edges:
+            if self.task_adj.min() < 0 or self.task_adj.max() >= self.n_procs:
+                raise GraphStructureError("processor id out of range in task_adj")
+            if self.proc_adj.min() < 0 or self.proc_adj.max() >= self.n_tasks:
+                raise GraphStructureError("task id out of range in proc_adj")
+            if np.any(self.weights <= 0):
+                raise GraphStructureError("edge weights must be positive")
+        if require_total and np.any(np.diff(self.task_ptr) == 0):
+            bad = int(np.flatnonzero(np.diff(self.task_ptr) == 0)[0])
+            raise GraphStructureError(
+                f"task {bad} has no eligible processor; no semi-matching exists"
+            )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def with_weights(self, weights: np.ndarray) -> "BipartiteGraph":
+        """Return a copy of this graph with new edge weights (CSR order)."""
+        w = np.ascontiguousarray(weights, dtype=np.float64)
+        if w.shape != (self.n_edges,):
+            raise GraphStructureError(
+                f"expected {self.n_edges} weights, got shape {w.shape}"
+            )
+        if self.n_edges and (not np.all(np.isfinite(w)) or np.any(w <= 0)):
+            raise GraphStructureError("edge weights must be finite and positive")
+        return BipartiteGraph(
+            n_tasks=self.n_tasks,
+            n_procs=self.n_procs,
+            task_ptr=self.task_ptr,
+            task_adj=self.task_adj,
+            weights=w,
+            proc_ptr=self.proc_ptr,
+            proc_adj=self.proc_adj,
+            proc_edge=self.proc_edge,
+        )
+
+    def unit(self) -> "BipartiteGraph":
+        """Return the unweighted (unit-weight) version of this graph."""
+        return self.with_weights(np.ones(self.n_edges))
+
+    def to_biadjacency(self):
+        """Return the ``n_tasks x n_procs`` scipy CSR biadjacency matrix.
+
+        Entry ``(i, u)`` holds the edge weight.  Parallel edges (same task,
+        same processor) are collapsed by scipy's duplicate summing; the
+        generators never produce them, but callers constructing graphs by
+        hand should be aware.
+        """
+        from scipy.sparse import csr_matrix
+
+        indptr = self.task_ptr.astype(np.int64)
+        return csr_matrix(
+            (self.weights, self.task_adj, indptr),
+            shape=(self.n_tasks, self.n_procs),
+        )
+
+    def to_networkx(self):
+        """Return a :class:`networkx.Graph` with bipartite node attributes.
+
+        Tasks are nodes ``("T", i)`` with ``bipartite=0``; processors are
+        ``("P", u)`` with ``bipartite=1``; edges carry ``weight``.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from((("T", int(i)) for i in range(self.n_tasks)), bipartite=0)
+        g.add_nodes_from((("P", int(u)) for u in range(self.n_procs)), bipartite=1)
+        for i in range(self.n_tasks):
+            lo, hi = self.task_ptr[i], self.task_ptr[i + 1]
+            for k in range(lo, hi):
+                g.add_edge(
+                    ("T", int(i)),
+                    ("P", int(self.task_adj[k])),
+                    weight=float(self.weights[k]),
+                )
+        return g
+
+    @staticmethod
+    def from_networkx(graph) -> "BipartiteGraph":
+        """Build from a networkx graph produced by :meth:`to_networkx`.
+
+        Nodes must be ``("T", i)`` / ``("P", u)`` pairs; edge ``weight``
+        attributes default to 1.  Task and processor counts are inferred
+        from the largest indices present.
+        """
+        t_ids: list[int] = []
+        p_ids: list[int] = []
+        ws: list[float] = []
+        n_tasks = 0
+        n_procs = 0
+        for node in graph.nodes:
+            kind, idx = node
+            if kind == "T":
+                n_tasks = max(n_tasks, int(idx) + 1)
+            elif kind == "P":
+                n_procs = max(n_procs, int(idx) + 1)
+            else:
+                raise GraphStructureError(
+                    f"unexpected node {node!r}; expected ('T', i) or ('P', u)"
+                )
+        for a, b, data in graph.edges(data=True):
+            if a[0] == "P":
+                a, b = b, a
+            if a[0] != "T" or b[0] != "P":
+                raise GraphStructureError(
+                    f"edge {(a, b)!r} does not join a task to a processor"
+                )
+            t_ids.append(int(a[1]))
+            p_ids.append(int(b[1]))
+            ws.append(float(data.get("weight", 1.0)))
+        return BipartiteGraph.from_edges(
+            n_tasks, n_procs, t_ids, p_ids, ws
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "unit" if self.is_unit else "weighted"
+        return (
+            f"BipartiteGraph(n_tasks={self.n_tasks}, n_procs={self.n_procs}, "
+            f"n_edges={self.n_edges}, {kind})"
+        )

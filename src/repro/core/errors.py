@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`SemiMatchError` so callers
+can catch everything coming from this package with a single ``except`` clause
+while still distinguishing structural problems (:class:`GraphStructureError`),
+infeasible or invalid assignments (:class:`InvalidMatchingError`) and solver
+misuse (:class:`SolverError`).
+"""
+
+from __future__ import annotations
+
+
+class SemiMatchError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphStructureError(SemiMatchError, ValueError):
+    """A graph or hypergraph violates a structural invariant.
+
+    Examples: an edge endpoint out of range, a task vertex with no incident
+    edge where one is required, a hyperedge containing zero or more than one
+    task vertex, or non-positive weights.
+    """
+
+
+class InvalidMatchingError(SemiMatchError, ValueError):
+    """An assignment is not a valid semi-matching for its instance."""
+
+
+class SolverError(SemiMatchError, RuntimeError):
+    """A solver was invoked on an instance it cannot handle.
+
+    Examples: running the exact unit-weight algorithm on a weighted graph, or
+    asking the exhaustive solver for an instance beyond its size guard.
+    """
+
+
+class InfeasibleError(SolverError):
+    """The instance admits no feasible assignment (some task has no edge)."""

@@ -1,0 +1,209 @@
+"""Semi-matching result objects for both problem variants.
+
+A *semi-matching* (paper Section II) assigns every task exactly one of its
+options: an incident edge for SINGLEPROC (:class:`SemiMatching`), an
+incident hyperedge for MULTIPROC (:class:`HyperSemiMatching`).  These
+objects are thin, validated wrappers around an assignment array; they
+compute processor loads and the makespan, and render a human-readable
+summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .errors import InvalidMatchingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .bipartite import BipartiteGraph
+    from .hypergraph import TaskHypergraph
+
+__all__ = ["SemiMatching", "HyperSemiMatching"]
+
+
+def _loads_bipartite(graph: "BipartiteGraph", edge_of_task: np.ndarray) -> np.ndarray:
+    loads = np.zeros(graph.n_procs, dtype=np.float64)
+    np.add.at(loads, graph.task_adj[edge_of_task], graph.weights[edge_of_task])
+    return loads
+
+
+@dataclass(frozen=True)
+class SemiMatching:
+    """A semi-matching in a bipartite task-processor graph.
+
+    ``edge_of_task[i]`` is the CSR edge index (into ``graph.task_adj``)
+    chosen for task ``i``; the assigned processor is therefore
+    ``graph.task_adj[edge_of_task[i]]``.
+    """
+
+    graph: "BipartiteGraph"
+    edge_of_task: np.ndarray
+    _loads: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        edges = np.ascontiguousarray(self.edge_of_task, dtype=np.int64)
+        object.__setattr__(self, "edge_of_task", edges)
+        g = self.graph
+        if edges.shape != (g.n_tasks,):
+            raise InvalidMatchingError(
+                f"expected one edge per task ({g.n_tasks}), got shape {edges.shape}"
+            )
+        if g.n_tasks:
+            if edges.min() < 0 or edges.max() >= g.n_edges:
+                raise InvalidMatchingError("edge index out of range")
+            # each chosen edge must belong to its task's CSR slice
+            owner_ok = (edges >= g.task_ptr[:-1]) & (edges < g.task_ptr[1:])
+            if not np.all(owner_ok):
+                bad = int(np.flatnonzero(~owner_ok)[0])
+                raise InvalidMatchingError(
+                    f"edge {int(edges[bad])} chosen for task {bad} is not "
+                    "incident to it"
+                )
+        object.__setattr__(self, "_loads", _loads_bipartite(g, edges))
+
+    @staticmethod
+    def from_proc_assignment(
+        graph: "BipartiteGraph", proc_of_task: np.ndarray
+    ) -> "SemiMatching":
+        """Build a semi-matching from a task->processor array.
+
+        When a task has several parallel edges to the same processor the
+        lightest one is chosen.  Raises :class:`InvalidMatchingError` when
+        an assigned processor is not eligible for its task.
+        """
+        procs = np.ascontiguousarray(proc_of_task, dtype=np.int64)
+        if procs.shape != (graph.n_tasks,):
+            raise InvalidMatchingError(
+                f"expected one processor per task ({graph.n_tasks}), "
+                f"got shape {procs.shape}"
+            )
+        edges = np.empty(graph.n_tasks, dtype=np.int64)
+        for i in range(graph.n_tasks):
+            lo, hi = graph.task_ptr[i], graph.task_ptr[i + 1]
+            hits = np.flatnonzero(graph.task_adj[lo:hi] == procs[i])
+            if hits.size == 0:
+                raise InvalidMatchingError(
+                    f"task {i} cannot run on processor {int(procs[i])}"
+                )
+            local = hits[np.argmin(graph.weights[lo:hi][hits])]
+            edges[i] = lo + local
+        return SemiMatching(graph, edges)
+
+    @property
+    def proc_of_task(self) -> np.ndarray:
+        """The processor assigned to each task (the paper's ``alloc``)."""
+        return self.graph.task_adj[self.edge_of_task]
+
+    def loads(self) -> np.ndarray:
+        """Per-processor loads ``l(u)`` under this assignment (a copy)."""
+        return self._loads.copy()
+
+    @property
+    def makespan(self) -> float:
+        """``max_u l(u)`` — the objective value."""
+        return float(self._loads.max()) if self._loads.size else 0.0
+
+    @property
+    def bottleneck_proc(self) -> int:
+        """Index of (one) processor achieving the makespan."""
+        return int(np.argmax(self._loads))
+
+    def tasks_on_proc(self, u: int) -> np.ndarray:
+        """Ids of tasks assigned to processor ``u``."""
+        return np.flatnonzero(self.proc_of_task == u)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        loads = self._loads
+        return (
+            f"SemiMatching: makespan={self.makespan:g} over "
+            f"{self.graph.n_procs} procs (mean load {loads.mean():.3g}, "
+            f"idle procs {int(np.sum(loads == 0))})"
+        )
+
+
+def _loads_hyper(
+    hg: "TaskHypergraph", hedge_of_task: np.ndarray
+) -> np.ndarray:
+    loads = np.zeros(hg.n_procs, dtype=np.float64)
+    sizes = np.diff(hg.hedge_ptr)
+    for h in hedge_of_task:
+        lo = hg.hedge_ptr[h]
+        loads[hg.hedge_procs[lo : lo + sizes[h]]] += hg.hedge_w[h]
+    return loads
+
+
+@dataclass(frozen=True)
+class HyperSemiMatching:
+    """A semi-matching in a task-processor hypergraph.
+
+    ``hedge_of_task[i]`` is the hyperedge (configuration) chosen for task
+    ``i``; the paper's ``alloc(i)`` is its pin set ``h_i ∩ V2``.
+    """
+
+    hypergraph: "TaskHypergraph"
+    hedge_of_task: np.ndarray
+    _loads: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        hedges = np.ascontiguousarray(self.hedge_of_task, dtype=np.int64)
+        object.__setattr__(self, "hedge_of_task", hedges)
+        hg = self.hypergraph
+        if hedges.shape != (hg.n_tasks,):
+            raise InvalidMatchingError(
+                f"expected one hyperedge per task ({hg.n_tasks}), "
+                f"got shape {hedges.shape}"
+            )
+        if hg.n_tasks:
+            if hedges.min() < 0 or hedges.max() >= hg.n_hedges:
+                raise InvalidMatchingError("hyperedge index out of range")
+            if not np.array_equal(
+                hg.hedge_task[hedges], np.arange(hg.n_tasks, dtype=np.int64)
+            ):
+                bad = int(
+                    np.flatnonzero(
+                        hg.hedge_task[hedges]
+                        != np.arange(hg.n_tasks, dtype=np.int64)
+                    )[0]
+                )
+                raise InvalidMatchingError(
+                    f"hyperedge {int(hedges[bad])} chosen for task {bad} "
+                    "belongs to a different task"
+                )
+        object.__setattr__(self, "_loads", _loads_hyper(hg, hedges))
+
+    def alloc(self, i: int) -> np.ndarray:
+        """Processor set on which task ``i`` executes."""
+        return self.hypergraph.hedge_proc_set(int(self.hedge_of_task[i]))
+
+    def loads(self) -> np.ndarray:
+        """Per-processor loads ``l(u)`` under this assignment (a copy)."""
+        return self._loads.copy()
+
+    @property
+    def makespan(self) -> float:
+        """``max_u l(u)`` — the objective value."""
+        return float(self._loads.max()) if self._loads.size else 0.0
+
+    @property
+    def bottleneck_proc(self) -> int:
+        """Index of (one) processor achieving the makespan."""
+        return int(np.argmax(self._loads))
+
+    def quality(self, lower_bound: float) -> float:
+        """Makespan divided by a lower bound — the paper's quality ratio."""
+        if lower_bound <= 0:
+            raise ValueError("lower bound must be positive")
+        return self.makespan / lower_bound
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        loads = self._loads
+        return (
+            f"HyperSemiMatching: makespan={self.makespan:g} over "
+            f"{self.hypergraph.n_procs} procs (mean load {loads.mean():.3g}, "
+            f"idle procs {int(np.sum(loads == 0))})"
+        )

@@ -1,0 +1,129 @@
+"""Instance and solution statistics (extension).
+
+Descriptive metrics for instances (what does this workload look like?)
+and for solutions (how good is this schedule beyond its makespan?).  The
+experiment harness reports makespans and quality ratios like the paper;
+these metrics support the analysis a library user actually performs:
+spotting imbalance, idle capacity and heavy-tailed degree structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+from .hypergraph import TaskHypergraph
+from .semimatching import HyperSemiMatching, SemiMatching
+
+__all__ = [
+    "InstanceStats",
+    "LoadStats",
+    "instance_stats",
+    "bipartite_stats",
+    "load_stats",
+]
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Shape summary of a MULTIPROC instance."""
+
+    n_tasks: int
+    n_procs: int
+    n_hedges: int
+    total_pins: int
+    mean_configs_per_task: float
+    max_configs_per_task: int
+    mean_config_size: float
+    max_config_size: int
+    weight_min: float
+    weight_max: float
+    tasks_per_proc_ratio: float
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        return "\n".join(
+            [
+                f"tasks: {self.n_tasks}  processors: {self.n_procs}  "
+                f"(ratio {self.tasks_per_proc_ratio:.2f})",
+                f"configurations: {self.n_hedges} "
+                f"(per task mean {self.mean_configs_per_task:.2f}, "
+                f"max {self.max_configs_per_task})",
+                f"pins: {self.total_pins} "
+                f"(config size mean {self.mean_config_size:.2f}, "
+                f"max {self.max_config_size})",
+                f"weights: [{self.weight_min:g}, {self.weight_max:g}]",
+            ]
+        )
+
+
+def instance_stats(hg: TaskHypergraph) -> InstanceStats:
+    """Shape summary of a hypergraph instance."""
+    deg = hg.task_degrees()
+    sizes = hg.hedge_sizes()
+    return InstanceStats(
+        n_tasks=hg.n_tasks,
+        n_procs=hg.n_procs,
+        n_hedges=hg.n_hedges,
+        total_pins=hg.total_pins,
+        mean_configs_per_task=float(deg.mean()) if deg.size else 0.0,
+        max_configs_per_task=int(deg.max()) if deg.size else 0,
+        mean_config_size=float(sizes.mean()) if sizes.size else 0.0,
+        max_config_size=int(sizes.max()) if sizes.size else 0,
+        weight_min=float(hg.hedge_w.min()) if hg.n_hedges else 0.0,
+        weight_max=float(hg.hedge_w.max()) if hg.n_hedges else 0.0,
+        tasks_per_proc_ratio=(
+            hg.n_tasks / hg.n_procs if hg.n_procs else float("inf")
+        ),
+    )
+
+
+def bipartite_stats(graph: BipartiteGraph) -> InstanceStats:
+    """Shape summary of a bipartite instance (configs are single edges)."""
+    return instance_stats(TaskHypergraph.from_bipartite(graph))
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Balance metrics of a solution's load vector."""
+
+    makespan: float
+    mean_load: float
+    std_load: float
+    idle_procs: int
+    imbalance: float  # makespan / mean - 1 (0 = perfectly balanced)
+    utilization: float  # mean / makespan (1 = perfectly balanced)
+    l2_cost: float  # sum l(l+1)/2, the semi-matching flow cost
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        return "\n".join(
+            [
+                f"makespan: {self.makespan:g}  mean load: "
+                f"{self.mean_load:.3g}  std: {self.std_load:.3g}",
+                f"idle processors: {self.idle_procs}  "
+                f"utilization: {self.utilization:.1%}  "
+                f"imbalance: {self.imbalance:.1%}",
+                f"flow cost sum l(l+1)/2: {self.l2_cost:g}",
+            ]
+        )
+
+
+def load_stats(matching: SemiMatching | HyperSemiMatching) -> LoadStats:
+    """Balance metrics of any matching result."""
+    loads = matching.loads()
+    if loads.size == 0:
+        return LoadStats(0.0, 0.0, 0.0, 0, 0.0, 1.0, 0.0)
+    mk = float(loads.max())
+    mean = float(loads.mean())
+    return LoadStats(
+        makespan=mk,
+        mean_load=mean,
+        std_load=float(loads.std()),
+        idle_procs=int(np.sum(loads == 0)),
+        imbalance=(mk / mean - 1.0) if mean > 0 else 0.0,
+        utilization=(mean / mk) if mk > 0 else 1.0,
+        l2_cost=float(np.sum(loads * (loads + 1) / 2)),
+    )

@@ -1,0 +1,98 @@
+"""Standalone validators and load recomputation helpers.
+
+The result objects in :mod:`repro.core.semimatching` validate on
+construction; the functions here re-derive loads/makespans from first
+principles and are used in tests as an independent oracle, and by callers
+who hold raw assignment arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+from .errors import InvalidMatchingError
+from .hypergraph import TaskHypergraph
+
+__all__ = [
+    "compute_loads_bipartite",
+    "compute_loads_hypergraph",
+    "makespan_bipartite",
+    "makespan_hypergraph",
+    "assert_valid_semi_matching",
+    "assert_valid_hyper_semi_matching",
+]
+
+
+def compute_loads_bipartite(
+    graph: BipartiteGraph, proc_of_task: np.ndarray, weights_used: np.ndarray
+) -> np.ndarray:
+    """Accumulate per-processor loads from a task->processor assignment.
+
+    ``weights_used[i]`` is the execution time task ``i`` incurs on its
+    assigned processor.
+    """
+    loads = np.zeros(graph.n_procs, dtype=np.float64)
+    np.add.at(loads, np.asarray(proc_of_task, dtype=np.int64), weights_used)
+    return loads
+
+
+def compute_loads_hypergraph(
+    hg: TaskHypergraph, hedge_of_task: np.ndarray
+) -> np.ndarray:
+    """Accumulate per-processor loads from a task->hyperedge assignment."""
+    loads = np.zeros(hg.n_procs, dtype=np.float64)
+    for i in range(hg.n_tasks):
+        h = int(hedge_of_task[i])
+        loads[hg.hedge_proc_set(h)] += hg.hedge_w[h]
+    return loads
+
+
+def makespan_bipartite(
+    graph: BipartiteGraph, proc_of_task: np.ndarray, weights_used: np.ndarray
+) -> float:
+    """Makespan of a raw SINGLEPROC assignment."""
+    loads = compute_loads_bipartite(graph, proc_of_task, weights_used)
+    return float(loads.max()) if loads.size else 0.0
+
+
+def makespan_hypergraph(hg: TaskHypergraph, hedge_of_task: np.ndarray) -> float:
+    """Makespan of a raw MULTIPROC assignment."""
+    loads = compute_loads_hypergraph(hg, hedge_of_task)
+    return float(loads.max()) if loads.size else 0.0
+
+
+def assert_valid_semi_matching(
+    graph: BipartiteGraph, edge_of_task: np.ndarray
+) -> None:
+    """Raise :class:`InvalidMatchingError` unless ``edge_of_task`` is a
+    valid semi-matching: one incident edge per task."""
+    edges = np.asarray(edge_of_task, dtype=np.int64)
+    if edges.shape != (graph.n_tasks,):
+        raise InvalidMatchingError("assignment must cover every task exactly once")
+    for i in range(graph.n_tasks):
+        e = int(edges[i])
+        if not (0 <= e < graph.n_edges):
+            raise InvalidMatchingError(f"edge index {e} out of range")
+        if not (graph.task_ptr[i] <= e < graph.task_ptr[i + 1]):
+            raise InvalidMatchingError(f"edge {e} is not incident to task {i}")
+
+
+def assert_valid_hyper_semi_matching(
+    hg: TaskHypergraph, hedge_of_task: np.ndarray
+) -> None:
+    """Raise :class:`InvalidMatchingError` unless ``hedge_of_task`` is a
+    valid hypergraph semi-matching: one incident hyperedge per task, which
+    also guarantees the matched hyperedges are disjoint on ``V1``."""
+    hedges = np.asarray(hedge_of_task, dtype=np.int64)
+    if hedges.shape != (hg.n_tasks,):
+        raise InvalidMatchingError("assignment must cover every task exactly once")
+    for i in range(hg.n_tasks):
+        h = int(hedges[i])
+        if not (0 <= h < hg.n_hedges):
+            raise InvalidMatchingError(f"hyperedge index {h} out of range")
+        if int(hg.hedge_task[h]) != i:
+            raise InvalidMatchingError(
+                f"hyperedge {h} belongs to task {int(hg.hedge_task[h])}, "
+                f"not task {i}"
+            )

@@ -1,0 +1,312 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Installed as ``semimatch`` (see pyproject).  Examples::
+
+    semimatch table1 --seeds 3 --scale small
+    semimatch table2 --seeds 10 --scale full
+    semimatch table3 --seeds 5
+    semimatch singleproc --d 10 --seeds 3
+    semimatch list
+
+``--scale`` controls which Table I rows run: ``small`` (n=1280),
+``medium`` (n<=5120) or ``full`` (all 24 families).  Results print as
+paper-vs-measured comparison tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .instances import (
+    MEDIUM_SPECS,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    SMALL_SPECS,
+    TABLE1_SPECS,
+)
+from .runner import run_instances
+from .singleproc import run_singleproc, singleproc_specs
+from .tables import render_comparison, render_quality_table, render_table1
+
+__all__ = ["main"]
+
+_SCALES = {"small": SMALL_SPECS, "medium": MEDIUM_SPECS, "full": TABLE1_SPECS}
+
+
+def _add_common(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--seeds", type=int, default=3,
+        help="random instances per family (paper: 10)",
+    )
+    sub.add_argument(
+        "--scale", choices=sorted(_SCALES), default="small",
+        help="which Table I rows to run (small: n=1280 only)",
+    )
+    sub.add_argument(
+        "--dv", type=int, default=5,
+        help="mean configurations per task (paper grid: 2, 5, 10)",
+    )
+    sub.add_argument(
+        "--dh", type=int, default=10,
+        help="step-2 degree parameter (paper grid: 2, 5, 10)",
+    )
+    sub.add_argument("--verbose", action="store_true")
+
+
+def _specs(args, weights: str):
+    from dataclasses import replace
+
+    return [
+        replace(s.with_weights(weights), dv=args.dv, dh=args.dh)
+        for s in _SCALES[args.scale]
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="semimatch",
+        description=(
+            "Reproduce the evaluation of 'Semi-matching algorithms for "
+            "scheduling parallel tasks under resource constraints' "
+            "(Benoit, Langguth, Ucar, IPDPSW 2013)."
+        ),
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    for cmd, help_ in (
+        ("table1", "instance statistics (paper Table I)"),
+        ("table2", "unweighted quality ratios (paper Table II)"),
+        ("table3", "related-weight quality ratios (paper Table III)"),
+        ("random-weights", "random-weight robustness check (TR Table 8)"),
+    ):
+        sub = subs.add_parser(cmd, help=help_)
+        _add_common(sub)
+
+    sp = subs.add_parser(
+        "singleproc", help="greedy vs exact on bipartite instances (Sec. V-B)"
+    )
+    _add_common(sp)
+    sp.add_argument("--d", type=int, default=10, choices=(2, 5, 10))
+
+    subs.add_parser("list", help="list the named instance families")
+
+    gen = subs.add_parser(
+        "generate", help="sample a named instance to a JSON file"
+    )
+    gen.add_argument("instance", help="family name, e.g. FG-5-1-MP[-W|-R]")
+    gen.add_argument("-o", "--output", required=True)
+    gen.add_argument("--seed", type=int, default=0)
+
+    slv = subs.add_parser(
+        "solve", help="solve a JSON instance (from `generate` or the io API)"
+    )
+    slv.add_argument("path")
+    slv.add_argument(
+        "--method", default="EVG",
+        help="SGH | VGH | EGH | EVG (hypergraphs); any bipartite "
+             "algorithm name for bipartite instances",
+    )
+    slv.add_argument(
+        "--refine", action="store_true", help="post-optimise with local search"
+    )
+
+    sw = subs.add_parser(
+        "sweep",
+        help="ranking robustness over the (dv, dh) grid (paper §V-A2)",
+    )
+    sw.add_argument("--seeds", type=int, default=2)
+    sw.add_argument(
+        "--weights", choices=("unit", "related", "random"),
+        default="related",
+    )
+    sw.add_argument(
+        "--grid", type=int, nargs="+", default=[2, 5, 10],
+        help="dv and dh values to combine",
+    )
+
+    st = subs.add_parser(
+        "stats", help="describe a JSON instance (shape, degrees, balance)"
+    )
+    st.add_argument("path")
+    st.add_argument(
+        "--solve-with", default=None, metavar="METHOD",
+        help="also solve with METHOD and show the load balance",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for s in TABLE1_SPECS:
+            print(
+                f"{s.name:>14}  family={s.family:<10} g={s.g:<4} "
+                f"n={s.n:<6} p={s.p}"
+            )
+        return 0
+
+    if args.command == "generate":
+        from ..io import save_instance
+        from .instances import spec_by_name
+
+        hg = spec_by_name(args.instance).generate(args.seed)
+        save_instance(hg, args.output)
+        print(
+            f"wrote {args.instance} (seed {args.seed}): "
+            f"{hg.n_tasks} tasks, {hg.n_procs} procs, "
+            f"{hg.n_hedges} hyperedges -> {args.output}"
+        )
+        return 0
+
+    if args.command == "solve":
+        from ..algorithms.local_search import local_search
+        from ..algorithms.lower_bounds import averaged_work_bound
+        from ..algorithms.registry import (
+            BIPARTITE_ALGORITHMS,
+            HYPERGRAPH_ALGORITHMS,
+        )
+        from ..core.bipartite import BipartiteGraph
+        from ..io import load_instance
+
+        inst = load_instance(args.path)
+        if isinstance(inst, BipartiteGraph):
+            fn = BIPARTITE_ALGORITHMS.get(args.method)
+            if fn is None:
+                parser.error(f"unknown bipartite method {args.method!r}")
+            m = fn(inst)
+            print(f"{args.method}: makespan {m.makespan:g}")
+        else:
+            fn = HYPERGRAPH_ALGORITHMS.get(args.method)
+            if fn is None:
+                parser.error(f"unknown hypergraph method {args.method!r}")
+            m = fn(inst)
+            if args.refine:
+                m = local_search(m).matching
+            lb = averaged_work_bound(inst)
+            print(
+                f"{args.method}{' + local-search' if args.refine else ''}: "
+                f"makespan {m.makespan:g} "
+                f"(LB {lb:g}, quality {m.makespan / lb:.3f})"
+            )
+        return 0
+
+    if args.command == "sweep":
+        from .instances import SMALL_SPECS
+        from .sweep import ranking_sweep
+
+        base = [s.with_weights(args.weights) for s in SMALL_SPECS]
+        sweep = ranking_sweep(
+            base,
+            dv_values=tuple(args.grid),
+            dh_values=tuple(args.grid),
+            n_seeds=args.seeds,
+        )
+        print(sweep.describe())
+        return 0
+
+    if args.command == "stats":
+        from ..core.bipartite import BipartiteGraph
+        from ..core.stats import bipartite_stats, instance_stats, load_stats
+        from ..io import load_instance
+        from ..viz import degree_histogram, load_bars
+
+        inst = load_instance(args.path)
+        if isinstance(inst, BipartiteGraph):
+            print(bipartite_stats(inst).describe())
+        else:
+            print(instance_stats(inst).describe())
+        print()
+        print(degree_histogram(inst))
+        if args.solve_with:
+            from ..algorithms.registry import (
+                BIPARTITE_ALGORITHMS,
+                HYPERGRAPH_ALGORITHMS,
+            )
+
+            reg = (
+                BIPARTITE_ALGORITHMS
+                if isinstance(inst, BipartiteGraph)
+                else HYPERGRAPH_ALGORITHMS
+            )
+            fn = reg.get(args.solve_with)
+            if fn is None:
+                parser.error(f"unknown method {args.solve_with!r}")
+            m = fn(inst)
+            print()
+            print(load_stats(m).describe())
+            print()
+            print(load_bars(m, max_procs=16))
+        return 0
+
+    if args.command == "table1":
+        res = run_instances(
+            _specs(args, "unit"), n_seeds=args.seeds, verbose=args.verbose,
+            algorithms=("SGH",),
+        )
+        print(render_table1(res))
+        return 0
+
+    if args.command in ("table2", "table3", "random-weights"):
+        weights = {"table2": "unit", "table3": "related",
+                   "random-weights": "random"}[args.command]
+        res = run_instances(
+            _specs(args, weights), n_seeds=args.seeds, verbose=args.verbose
+        )
+        paper = {"table2": PAPER_TABLE2, "table3": PAPER_TABLE3}.get(
+            args.command
+        )
+        if (args.dv, args.dh) != (5, 10):
+            paper = None  # the paper's printed values are for dv=5, dh=10
+        title = (
+            f"{args.command} ({weights} weights, {args.seeds} seeds, "
+            f"dv={args.dv}, dh={args.dh})"
+        )
+        if paper:
+            print(render_comparison(res, paper, title))
+        else:
+            print(render_quality_table(res, title))
+        avg_t = res.average_time()
+        print(
+            "Average time (s): "
+            + "  ".join(f"{a}={avg_t[a]:.3f}" for a in res.algorithms)
+        )
+        return 0
+
+    if args.command == "singleproc":
+        sizes = {
+            "small": ((5, 1),),
+            "medium": ((5, 1), (20, 1), (20, 4)),
+            "full": ((5, 1), (20, 1), (20, 4), (80, 1), (80, 4), (80, 16)),
+        }[args.scale]
+        res = run_singleproc(
+            singleproc_specs(d=args.d, sizes=sizes),
+            n_seeds=args.seeds,
+            verbose=args.verbose,
+        )
+        print(f"singleproc (d={args.d}, {args.seeds} seeds)")
+        header = f"{'Instance':>16}  {'opt':>6}  " + "  ".join(
+            f"{a:>16}" for a in res.algorithms
+        )
+        print(header)
+        for r in res.rows:
+            print(
+                f"{r.name:>16}  {r.optimum:>6g}  "
+                + "  ".join(f"{r.quality[a]:>16.3f}" for a in res.algorithms)
+            )
+        avg_q = res.average_quality()
+        avg_t = res.average_time()
+        print(
+            "Average quality: "
+            + "  ".join(f"{a}={avg_q[a]:.3f}" for a in res.algorithms)
+        )
+        print(
+            "Average time (s): "
+            + "  ".join(f"{a}={avg_t[a]:.4f}" for a in avg_t)
+        )
+        return 0
+
+    parser.error(f"unhandled command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""The paper's named experiment instances (Table I) and reference values.
+
+Instance names follow the paper: ``{FG|MG|HLF|HLM}-{x}-{y}-MP`` where the
+instance has ``n = 256 x`` tasks and ``p = 256 y`` processors, ``FG``/
+``MG`` are FewgManyg with ``g = 32`` / ``g = 128`` and ``HLF``/``HLM`` are
+HiLo with ``g = 32`` / ``g = 128``.  All use ``dv = 5``, ``dh = 10`` (the
+configuration the paper details; other combinations are exposed through
+the spec's fields).  A ``-W`` suffix denotes the related-weight variant.
+
+``PAPER_TABLE1/2/3`` record the values printed in the paper, so the
+benchmark harness can emit paper-vs-measured comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+from ..generators.multiproc import generate_multiproc
+
+__all__ = [
+    "InstanceSpec",
+    "TABLE1_SPECS",
+    "SPECS_BY_NAME",
+    "SMALL_SPECS",
+    "MEDIUM_SPECS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "spec_by_name",
+]
+
+_FAMILY_OF_PREFIX = {
+    "FG": ("fewgmanyg", 32),
+    "MG": ("fewgmanyg", 128),
+    "HLF": ("hilo", 32),
+    "HLM": ("hilo", 128),
+}
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Recipe for one named random-instance family."""
+
+    name: str
+    family: str
+    g: int
+    n: int
+    p: int
+    dv: int = 5
+    dh: int = 10
+    weights: str = "unit"
+
+    def generate(self, seed: int | np.random.Generator | None) -> TaskHypergraph:
+        """Sample one instance of this family."""
+        return generate_multiproc(
+            self.n,
+            self.p,
+            family=self.family,
+            g=self.g,
+            dv=self.dv,
+            dh=self.dh,
+            weights=self.weights,
+            seed=seed,
+        )
+
+    def with_weights(self, scheme: str) -> "InstanceSpec":
+        """Same family under another weight scheme ('-W' names related)."""
+        suffix = {"unit": "", "related": "-W", "random": "-R"}[scheme]
+        base = self.name.removesuffix("-W").removesuffix("-R")
+        return replace(self, weights=scheme, name=base + suffix)
+
+
+def _build_specs() -> list[InstanceSpec]:
+    sizes = [(5, 1), (20, 1), (20, 4), (80, 1), (80, 4), (80, 16)]
+    specs = []
+    for prefix in ("FG", "MG"):
+        family, g = _FAMILY_OF_PREFIX[prefix]
+        for x, y in sizes:
+            specs.append(
+                InstanceSpec(
+                    name=f"{prefix}-{x}-{y}-MP",
+                    family=family,
+                    g=g,
+                    n=256 * x,
+                    p=256 * y,
+                )
+            )
+    for prefix in ("HLF", "HLM"):
+        family, g = _FAMILY_OF_PREFIX[prefix]
+        for x, y in sizes:
+            specs.append(
+                InstanceSpec(
+                    name=f"{prefix}-{x}-{y}-MP",
+                    family=family,
+                    g=g,
+                    n=256 * x,
+                    p=256 * y,
+                )
+            )
+    return specs
+
+
+#: All 24 Table I instance families, paper order.
+TABLE1_SPECS: tuple[InstanceSpec, ...] = tuple(_build_specs())
+
+SPECS_BY_NAME: dict[str, InstanceSpec] = {s.name: s for s in TABLE1_SPECS}
+
+#: The x=5 rows — small enough for quick benchmark defaults.
+SMALL_SPECS: tuple[InstanceSpec, ...] = tuple(
+    s for s in TABLE1_SPECS if s.n == 1280
+)
+
+#: The x=5 and x=20 rows.
+MEDIUM_SPECS: tuple[InstanceSpec, ...] = tuple(
+    s for s in TABLE1_SPECS if s.n <= 5120
+)
+
+
+def spec_by_name(name: str) -> InstanceSpec:
+    """Look up a spec; ``-W``/``-R`` suffixes select the weight scheme."""
+    base = name.removesuffix("-W").removesuffix("-R")
+    spec = SPECS_BY_NAME.get(base)
+    if spec is None:
+        raise KeyError(
+            f"unknown instance {name!r}; known: {sorted(SPECS_BY_NAME)}"
+        )
+    if name.endswith("-W"):
+        return spec.with_weights("related")
+    if name.endswith("-R"):
+        return spec.with_weights("random")
+    return spec
+
+
+#: Table I as printed: name -> (|V1|, |V2|, |N|, sum |h ∩ V2|).
+PAPER_TABLE1: dict[str, tuple[int, int, int, int]] = {
+    "FG-5-1-MP": (1280, 256, 6368, 61643),
+    "MG-5-1-MP": (1280, 256, 6400, 27705),
+    "FG-20-1-MP": (5120, 256, 25504, 248683),
+    "MG-20-1-MP": (5120, 256, 25600, 110817),
+    "FG-20-4-MP": (5120, 1024, 25632, 256459),
+    "MG-20-4-MP": (5120, 1024, 25728, 249483),
+    "FG-80-1-MP": (20480, 256, 102336, 993764),
+    "MG-80-1-MP": (20480, 256, 102016, 441810),
+    "FG-80-4-MP": (20480, 1024, 102112, 1021574),
+    "MG-80-4-MP": (20480, 1024, 101888, 994256),
+    "FG-80-16-MP": (20480, 4096, 102176, 1022141),
+    "MG-80-16-MP": (20480, 4096, 102144, 1027001),
+    "HLF-5-1-MP": (1280, 256, 6368, 99036),
+    "HLM-5-1-MP": (1280, 256, 6400, 25245),
+    "HLF-20-1-MP": (5120, 256, 25472, 400428),
+    "HLM-20-1-MP": (5120, 256, 25600, 101745),
+    "HLF-20-4-MP": (5120, 1024, 26016, 556479),
+    "HLM-20-4-MP": (5120, 1024, 25600, 400860),
+    "HLF-80-1-MP": (20480, 256, 102752, 1612548),
+    "HLM-80-1-MP": (20480, 256, 102528, 407235),
+    "HLF-80-4-MP": (20480, 1024, 102848, 2219679),
+    "HLM-80-4-MP": (20480, 1024, 102656, 1626900),
+    "HLF-80-16-MP": (20480, 4096, 102592, 2218293),
+    "HLM-80-16-MP": (20480, 4096, 101888, 2235585),
+}
+
+#: Table II (unweighted): name -> (LB, SGH, VGH, EGH, EVG quality ratios).
+PAPER_TABLE2: dict[str, tuple[float, float, float, float, float]] = {
+    "FG-5-1-MP": (34, 1.43, 1.33, 1.39, 1.37),
+    "MG-5-1-MP": (17, 1.43, 1.32, 1.43, 1.38),
+    "FG-20-1-MP": (135, 1.34, 1.24, 1.32, 1.30),
+    "MG-20-1-MP": (70, 1.40, 1.27, 1.38, 1.38),
+    "FG-20-4-MP": (34, 1.41, 1.30, 1.39, 1.37),
+    "MG-20-4-MP": (34, 1.45, 1.34, 1.39, 1.39),
+    "FG-80-1-MP": (539, 1.30, 1.22, 1.27, 1.27),
+    "MG-80-1-MP": (280, 1.39, 1.26, 1.37, 1.36),
+    "FG-80-4-MP": (136, 1.35, 1.24, 1.32, 1.32),
+    "MG-80-4-MP": (135, 1.34, 1.25, 1.31, 1.31),
+    "FG-80-16-MP": (34, 1.42, 1.30, 1.39, 1.39),
+    "MG-80-16-MP": (34, 1.42, 1.30, 1.39, 1.39),
+    "HLF-5-1-MP": (68, 1.18, 1.17, 1.17, 1.18),
+    "HLM-5-1-MP": (19, 1.12, 1.12, 1.12, 1.12),
+    "HLF-20-1-MP": (291, 1.10, 1.10, 1.10, 1.10),
+    "HLM-20-1-MP": (78, 1.04, 1.04, 1.04, 1.04),
+    "HLF-20-4-MP": (99, 2.84, 2.84, 2.84, 2.84),
+    "HLM-20-4-MP": (72, 1.12, 1.12, 1.12, 1.12),
+    "HLF-80-1-MP": (1182, 1.08, 1.08, 1.08, 1.08),
+    "HLM-80-1-MP": (313, 1.03, 1.03, 1.03, 1.03),
+    "HLF-80-4-MP": (405, 3.06, 3.06, 3.06, 3.06),
+    "HLM-80-4-MP": (307, 1.05, 1.05, 1.05, 1.05),
+    "HLF-80-16-MP": (101, 10.54, 10.54, 10.54, 10.54),
+    "HLM-80-16-MP": (105, 2.70, 2.69, 2.69, 2.69),
+}
+
+#: Table III (related weights): name -> (LB, SGH, VGH, EGH, EVG).
+PAPER_TABLE3: dict[str, tuple[float, float, float, float, float]] = {
+    "FG-5-1-MP-W": (87, 1.34, 1.30, 1.27, 1.25),
+    "MG-5-1-MP-W": (26, 1.63, 1.59, 1.51, 1.32),
+    "FG-20-1-MP-W": (335, 1.25, 1.24, 1.19, 1.19),
+    "MG-20-1-MP-W": (103, 1.55, 1.55, 1.43, 1.28),
+    "FG-20-4-MP-W": (123, 1.35, 1.35, 1.26, 1.17),
+    "MG-20-4-MP-W": (84, 1.41, 1.36, 1.31, 1.26),
+    "FG-80-1-MP-W": (1406, 1.19, 1.18, 1.15, 1.15),
+    "MG-80-1-MP-W": (413, 1.54, 1.54, 1.43, 1.27),
+    "FG-80-4-MP-W": (549, 1.24, 1.24, 1.12, 1.11),
+    "MG-80-4-MP-W": (381, 1.22, 1.21, 1.17, 1.15),
+    "FG-80-16-MP-W": (141, 1.36, 1.35, 1.24, 1.17),
+    "MG-80-16-MP-W": (141, 1.35, 1.37, 1.29, 1.17),
+    "HLF-5-1-MP-W": (80, 1.25, 1.24, 1.12, 1.02),
+    "HLM-5-1-MP-W": (20, 1.15, 1.15, 1.05, 1.05),
+    "HLF-20-1-MP-W": (320, 1.17, 1.17, 1.05, 1.02),
+    "HLM-20-1-MP-W": (80, 1.06, 1.06, 1.03, 1.01),
+    "HLF-20-4-MP-W": (110, 2.93, 2.93, 2.61, 2.60),
+    "HLM-20-4-MP-W": (80, 1.18, 1.18, 1.16, 1.02),
+    "HLF-80-1-MP-W": (1280, 1.15, 1.15, 1.03, 1.02),
+    "HLM-80-1-MP-W": (320, 1.04, 1.04, 1.01, 1.01),
+    "HLF-80-4-MP-W": (440, 3.22, 3.23, 2.87, 2.86),
+    "HLM-80-4-MP-W": (320, 1.07, 1.06, 1.03, 1.01),
+    "HLF-80-16-MP-W": (110, 11.07, 11.06, 9.89, 9.85),
+    "HLM-80-16-MP-W": (110, 2.66, 2.66, 2.57, 2.57),
+}

@@ -1,0 +1,120 @@
+"""Markdown report generation for experiment results.
+
+Renders :class:`~repro.experiments.runner.ExperimentResult` objects as
+GitHub-flavoured markdown tables with paper-vs-measured columns — the
+exact format used by EXPERIMENTS.md — so full reproduction reports can be
+regenerated with one command::
+
+    semimatch table2 --scale full --seeds 10 > out.txt   # ASCII
+    python -m repro.experiments.report                   # markdown
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .runner import ExperimentResult
+from .singleproc import SingleProcResult
+
+__all__ = ["markdown_quality_table", "markdown_table1", "markdown_singleproc"]
+
+
+def _md_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    out = ["| " + " | ".join(header) + " |"]
+    out.append("|" + "|".join(["---"] * len(header)) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def markdown_table1(
+    result: ExperimentResult,
+    paper: Mapping[str, tuple[int, int, int, int]] | None = None,
+) -> str:
+    """Instance statistics as markdown (Table I format)."""
+    header = ["Instance", "|V1|", "|V2|", "|N| (ours)", "pins (ours)"]
+    if paper:
+        header += ["|N| (paper)", "pins (paper)"]
+    rows = []
+    for r in result.rows:
+        row = [
+            r.name,
+            str(r.n_tasks),
+            str(r.n_procs),
+            str(r.n_hedges),
+            str(r.total_pins),
+        ]
+        if paper:
+            key = r.name.removesuffix("-W").removesuffix("-R")
+            ref = paper.get(key)
+            row += [str(ref[2]), str(ref[3])] if ref else ["-", "-"]
+        rows.append(row)
+    return _md_table(header, rows)
+
+
+def markdown_quality_table(
+    result: ExperimentResult,
+    paper: Mapping[str, tuple[float, ...]] | None = None,
+) -> str:
+    """Quality ratios as markdown, interleaving measured and paper values."""
+    algos = list(result.algorithms)
+    header = ["Instance", "LB"]
+    if paper:
+        header.append("LB (paper)")
+    for a in algos:
+        header.append(a)
+        if paper:
+            header.append(f"{a} (paper)")
+    rows = []
+    for r in result.rows:
+        ref = paper.get(r.name) if paper else None
+        row = [r.name, f"{r.lower_bound:g}"]
+        if paper:
+            row.append(f"{ref[0]:g}" if ref else "-")
+        for j, a in enumerate(algos):
+            row.append(f"{r.quality[a]:.2f}")
+            if paper:
+                row.append(f"{ref[j + 1]:.2f}" if ref else "-")
+        rows.append(row)
+    avg = result.average_quality()
+    footer = ["**Average**", ""]
+    if paper:
+        footer.append("")
+    for a in algos:
+        footer.append(f"**{avg[a]:.2f}**")
+        if paper:
+            refs = [
+                paper[r.name][algos.index(a) + 1]
+                for r in result.rows
+                if r.name in paper
+            ]
+            footer.append(
+                f"**{sum(refs) / len(refs):.2f}**" if refs else "-"
+            )
+    rows.append(footer)
+    times = result.average_time()
+    table = _md_table(header, rows)
+    time_line = "Average time (s): " + ", ".join(
+        f"{a} {times[a]:.3f}" for a in algos
+    )
+    return f"{table}\n\n{time_line}"
+
+
+def markdown_singleproc(result: SingleProcResult) -> str:
+    """SINGLEPROC greedy-vs-exact results as markdown."""
+    algos = list(result.algorithms)
+    header = ["Instance", "optimum", *algos]
+    rows = [
+        [r.name, f"{r.optimum:g}"]
+        + [f"{r.quality[a]:.3f}" for a in algos]
+        for r in result.rows
+    ]
+    avg = result.average_quality()
+    rows.append(
+        ["**Average**", ""] + [f"**{avg[a]:.3f}**" for a in algos]
+    )
+    times = result.average_time()
+    time_line = "Average time (s): " + ", ".join(
+        f"{a} {times[a]:.4f}" for a in times
+    )
+    return _md_table(header, rows) + "\n\n" + time_line

@@ -1,0 +1,123 @@
+"""Experiment runner: median-of-N protocol over the named instances.
+
+The paper's protocol (Section V-A): for every parameter set, create 10
+random instances and report the median of the measurements.  The runner
+reproduces this for any list of :class:`InstanceSpec` and any set of
+registered algorithms, recording per-instance quality ratios
+(makespan / LB, eq. (1)), instance statistics and wall-clock times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algorithms.lower_bounds import averaged_work_bound
+from ..algorithms.registry import get_hypergraph_algorithm
+from .._util import Timer
+from .instances import InstanceSpec
+
+__all__ = ["InstanceResult", "ExperimentResult", "run_instances", "DEFAULT_ALGOS"]
+
+DEFAULT_ALGOS = ("SGH", "VGH", "EGH", "EVG")
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """Median-of-seeds measurements for one named instance family."""
+
+    name: str
+    n_tasks: int
+    n_procs: int
+    n_hedges: int
+    total_pins: int
+    lower_bound: float
+    quality: dict[str, float]  # algo -> median makespan / LB
+    makespan: dict[str, float]  # algo -> median makespan
+    time_s: dict[str, float]  # algo -> mean wall-clock seconds
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one experiment plus aggregate statistics."""
+
+    algorithms: tuple[str, ...]
+    rows: list[InstanceResult] = field(default_factory=list)
+
+    def average_quality(self) -> dict[str, float]:
+        """Mean of the per-row median quality ratios (paper's last row)."""
+        return {
+            a: float(np.mean([r.quality[a] for r in self.rows]))
+            for a in self.algorithms
+        }
+
+    def average_time(self) -> dict[str, float]:
+        """Mean of the per-row times (paper's 'Average time' row)."""
+        return {
+            a: float(np.mean([r.time_s[a] for r in self.rows]))
+            for a in self.algorithms
+        }
+
+
+def run_instances(
+    specs,
+    *,
+    algorithms=DEFAULT_ALGOS,
+    n_seeds: int = 10,
+    seed0: int = 0,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Run ``algorithms`` over ``n_seeds`` samples of every spec.
+
+    ``seed0 + k`` seeds the ``k``-th sample of every family, so two runs
+    with the same arguments are identical and different families still
+    see different graphs.
+    """
+    result = ExperimentResult(algorithms=tuple(algorithms))
+    for spec in specs:
+        rows = _run_one(spec, algorithms, n_seeds, seed0, verbose)
+        result.rows.append(rows)
+    return result
+
+
+def _run_one(
+    spec: InstanceSpec,
+    algorithms,
+    n_seeds: int,
+    seed0: int,
+    verbose: bool,
+) -> InstanceResult:
+    lbs: list[float] = []
+    stats = {"n_hedges": [], "pins": []}
+    quality: dict[str, list[float]] = {a: [] for a in algorithms}
+    makespans: dict[str, list[float]] = {a: [] for a in algorithms}
+    timers: dict[str, Timer] = {a: Timer() for a in algorithms}
+
+    for k in range(n_seeds):
+        hg = spec.generate(seed0 + k)
+        stats["n_hedges"].append(hg.n_hedges)
+        stats["pins"].append(hg.total_pins)
+        lb = averaged_work_bound(hg)
+        lbs.append(lb)
+        for a in algorithms:
+            fn = get_hypergraph_algorithm(a)
+            with timers[a]:
+                m = fn(hg)
+            makespans[a].append(m.makespan)
+            quality[a].append(m.makespan / lb if lb > 0 else np.inf)
+        if verbose:
+            qs = ", ".join(f"{a}={quality[a][-1]:.3f}" for a in algorithms)
+            print(f"  {spec.name} seed {seed0 + k}: LB={lb:g} {qs}")
+
+    return InstanceResult(
+        name=spec.name,
+        n_tasks=spec.n,
+        n_procs=spec.p,
+        n_hedges=int(np.median(stats["n_hedges"])),
+        total_pins=int(np.median(stats["pins"])),
+        lower_bound=float(np.median(lbs)),
+        quality={a: float(np.median(quality[a])) for a in algorithms},
+        makespan={a: float(np.median(makespans[a])) for a in algorithms},
+        time_s={a: timers[a].elapsed / n_seeds for a in algorithms},
+    )

@@ -1,0 +1,46 @@
+"""Instance generators: random families, worst cases, reductions."""
+
+from .adversarial import (
+    double_sorted_fooler,
+    expected_greedy_fooler,
+    fig1_toy,
+    fig3_family,
+)
+from .fewgmanyg import fewgmanyg_bipartite, fewgmanyg_neighbor_lists
+from .hilo import hilo_bipartite, hilo_neighbor_lists
+from .multiproc import GENERATOR_FAMILIES, generate_multiproc
+from .weights import (
+    WEIGHT_SCHEMES,
+    apply_weights,
+    random_weights,
+    related_weights,
+)
+from .x3c import (
+    X3CInstance,
+    cover_from_matching,
+    is_exact_cover,
+    planted_x3c,
+    x3c_to_multiproc,
+)
+
+__all__ = [
+    "hilo_bipartite",
+    "hilo_neighbor_lists",
+    "fewgmanyg_bipartite",
+    "fewgmanyg_neighbor_lists",
+    "generate_multiproc",
+    "GENERATOR_FAMILIES",
+    "related_weights",
+    "random_weights",
+    "apply_weights",
+    "WEIGHT_SCHEMES",
+    "fig1_toy",
+    "fig3_family",
+    "double_sorted_fooler",
+    "expected_greedy_fooler",
+    "X3CInstance",
+    "planted_x3c",
+    "x3c_to_multiproc",
+    "cover_from_matching",
+    "is_exact_cover",
+]

@@ -1,0 +1,114 @@
+"""Worst-case constructions from paper Section IV-B (Figures 1 and 3).
+
+These families witness that the greedy heuristics carry no approximation
+guarantee:
+
+* :func:`fig1_toy` — the two-task example where basic-greedy can double
+  the optimal makespan;
+* :func:`fig3_family` — the factor-``k`` family on ``2^k - 1`` tasks and
+  ``2^k`` processors where basic- and sorted-greedy reach makespan ``k``
+  while the optimum is 1;
+* :func:`double_sorted_fooler` — the Section IV-B3 extension (12 tasks,
+  12 processors) that equalises processor in-degrees so double-sorted
+  fails like sorted-greedy while expected-greedy still finds the optimum;
+* :func:`expected_greedy_fooler` — the Section IV-B4 16-task/16-processor
+  variant whose expected loads tie, defeating expected-greedy as well.
+
+Greedy ties depend on edge order; each constructor orders edges the way
+the paper's narrative assumes (the "wrong" processor is the one the tie
+rule selects), so the stated makespans are reproduced deterministically —
+the tests assert them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bipartite import BipartiteGraph
+
+__all__ = [
+    "fig1_toy",
+    "fig3_family",
+    "double_sorted_fooler",
+    "expected_greedy_fooler",
+]
+
+
+def fig1_toy() -> BipartiteGraph:
+    """Figure 1: ``T1 -> {P1, P2}``, ``T2 -> {P1}``.
+
+    Basic-greedy (index order, first-edge ties) sends ``T1`` to ``P1`` and
+    is then forced to stack ``T2`` on it: makespan 2 versus optimal 1.
+    """
+    return BipartiteGraph.from_neighbor_lists([[0, 1], [0]], n_procs=2)
+
+
+def fig3_family(k: int) -> BipartiteGraph:
+    """Figure 3 generalised: ``2^k - 1`` tasks over ``2^k`` processors.
+
+    Level ``l`` (``0 <= l < k``) has tasks ``T_i^(l)`` for
+    ``1 <= i <= 2^(k-1-l)``, eligible on ``P_i`` or ``P_(i + 2^(k-1-l))``.
+    Assigning every task to its second option yields makespan 1; greedy
+    first-option stacking piles level after level onto ``P_1`` for a
+    makespan of ``k``.  Tasks are emitted level-major so index order is
+    the order the paper's argument walks them.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    lists: list[list[int]] = []
+    for level in range(k):
+        span = 2 ** (k - 1 - level)
+        for i in range(1, span + 1):
+            lists.append([i - 1, i - 1 + span])  # P_i first: greedy's trap
+    return BipartiteGraph.from_neighbor_lists(lists, n_procs=2**k)
+
+
+def double_sorted_fooler() -> BipartiteGraph:
+    """Section IV-B3: equal in-degrees neutralise double-sorted's tie-break.
+
+    Extends :func:`fig3_family` with ``k = 3`` by a task ``T8`` on
+    ``{P3, P4}`` and four degree-3 tasks ``T9..T12``, each eligible on two
+    of ``P5..P8`` plus a private processor ``P9..P12``, so ``P1..P8`` all
+    have in-degree 3 and the in-degree tie-break is useless.  Algorithm 2's
+    ``<=`` comparison keeps the *last* edge among full ties, so the Fig. 3
+    part lists the trap processor second; double-sorted then repeats
+    sorted-greedy's wrong choices ("may take the same wrong decisions",
+    makespan 3).  Expected-greedy sees smaller expected load on ``P5..P8``
+    (the degree-3 helpers spread thinner) and reaches the optimum 1.
+    """
+    # Fig. 3 (k=3) with edges reversed: the stacking processor P_i last.
+    fig3 = [[b, a] for a, b in _fig3_lists(3)]
+    lists = fig3[:4]  # level 0
+    lists.append([2, 3])  # T8 on {P3, P4}, assigned before the upper levels
+    lists.extend(fig3[4:])  # levels 1 and 2
+    # T9..T12: two consecutive of P5..P8 (wrap) + a private processor
+    for j in range(4):
+        lists.append([4 + j, 4 + ((j + 1) % 4), 8 + j])
+    return BipartiteGraph.from_neighbor_lists(lists, n_procs=12)
+
+
+def expected_greedy_fooler() -> BipartiteGraph:
+    """Section IV-B4: 16 tasks, 16 processors, all degrees 2, tied ``o``.
+
+    Extends :func:`fig3_family` with ``k = 3`` by ``T8`` on ``{P3, P4}``
+    and eight degree-2 tasks ``T9..T16``, each on one of ``P5..P8`` plus a
+    private processor ``P9..P16`` (two helpers per shared processor).  All
+    tasks have degree 2, so sorting is vacuous; the initial expected loads
+    of ``P1..P8`` all tie at 1.5, so expected-greedy falls back to first-
+    edge ties and repeats the sorted-greedy mistakes: makespan 3 versus
+    optimal 1.
+    """
+    lists = [list(nb) for nb in _fig3_lists(3)]
+    lists.append([2, 3])  # T8 on {P3, P4}
+    for j in range(8):
+        lists.append([4 + j // 2, 8 + j])
+    return BipartiteGraph.from_neighbor_lists(lists, n_procs=16)
+
+
+def _fig3_lists(k: int) -> list[list[int]]:
+    lists: list[list[int]] = []
+    for level in range(k):
+        span = 2 ** (k - 1 - level)
+        for i in range(1, span + 1):
+            lists.append([i - 1, i - 1 + span])
+    return lists

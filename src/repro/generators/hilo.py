@@ -1,0 +1,72 @@
+"""The HiLo structured bipartite-graph generator (paper Section V-A1).
+
+HiLo graphs originate in the matching-benchmark suite of Cherkassky,
+Goldberg, Martin, Setubal and Stolfi (ref [7]) and are the harder of the
+paper's two instance families: with ``|V1| = |V2|`` they have a unique
+maximum matching, and the paper uses them with many more tasks than
+processors so the semi-matching structure is highly constrained.
+
+Parameters ``HiLo(n, p, g, d)``: ``n`` tasks and ``p`` processors are
+divided into ``g`` groups each; writing ``x_i^j`` for the ``i``-th task of
+group ``j`` (1-based, as in the paper) and ``y_k^j`` likewise for
+processors, task ``x_i^j`` is adjacent to
+
+    ``y_k^j``      for ``k = max(1, min(i, p/g) - d), ..., min(i, p/g)``
+
+and, when ``j < g``, to the same ``y_k^{j+1}`` range in the next group.
+Every task therefore has at most ``2 (d + 1)`` neighbours.  The
+construction is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bipartite import BipartiteGraph
+
+__all__ = ["hilo_bipartite", "hilo_neighbor_lists"]
+
+
+def _group_sizes(total: int, g: int) -> np.ndarray:
+    """Near-equal group sizes (first ``total % g`` groups get one extra)."""
+    base = total // g
+    sizes = np.full(g, base, dtype=np.int64)
+    sizes[: total % g] += 1
+    return sizes
+
+
+def hilo_neighbor_lists(n: int, p: int, g: int, d: int) -> list[np.ndarray]:
+    """Neighbour list of every left vertex in ``HiLo(n, p, g, d)``.
+
+    Exposed separately because the MULTIPROC generator reuses the rule
+    with hyperedges as left vertices (each neighbour list becomes a pin
+    set).  Requires ``g`` to divide ``p`` (the rule's ``p/g`` is a
+    constant); left-group sizes may be uneven.
+    """
+    if g < 1:
+        raise ValueError("g must be at least 1")
+    if p % g != 0:
+        raise ValueError(f"HiLo requires g | p, got p={p}, g={g}")
+    if d < 0:
+        raise ValueError("d must be non-negative")
+    pg = p // g
+    if pg == 0:
+        raise ValueError("p/g must be at least 1")
+    out: list[np.ndarray] = []
+    left_sizes = _group_sizes(n, g)
+    for j in range(g):  # 0-based group index; the paper's j-1
+        for i in range(1, int(left_sizes[j]) + 1):
+            top = min(i, pg)
+            lo = max(1, top - d)
+            ks = np.arange(lo, top + 1, dtype=np.int64)  # 1-based k
+            nbrs = [j * pg + (ks - 1)]
+            if j < g - 1:
+                nbrs.append((j + 1) * pg + (ks - 1))
+            out.append(np.concatenate(nbrs))
+    return out
+
+
+def hilo_bipartite(n: int, p: int, g: int, d: int) -> BipartiteGraph:
+    """A ``HiLo(n, p, g, d)`` SINGLEPROC-UNIT instance."""
+    lists = hilo_neighbor_lists(n, p, g, d)
+    return BipartiteGraph.from_neighbor_lists(lists, n_procs=p)

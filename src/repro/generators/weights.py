@@ -1,0 +1,65 @@
+"""Hyperedge weight schemes for MULTIPROC instances (paper Section V-A2).
+
+Three schemes, matching the paper's three experiment sets:
+
+* ``unit`` — all weights 1 (MULTIPROC-UNIT, Table II);
+* ``related`` — ``w_h = ceil(min_s * max_s / s_h)`` with ``s_h = |h ∩ V2|``
+  and the min/max taken over the whole instance: a configuration on more
+  processors runs proportionally faster on each (Table III).  The paper
+  notes NP-completeness is preserved under related weights;
+* ``random`` — independent uniform integers (the technical report's
+  robustness check, Table 8 there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+from .._util import as_rng
+
+__all__ = ["related_weights", "random_weights", "apply_weights", "WEIGHT_SCHEMES"]
+
+
+def related_weights(hg: TaskHypergraph) -> np.ndarray:
+    """The paper's related weights: ``w_h = ceil(min_s * max_s / s_h)``."""
+    sizes = hg.hedge_sizes().astype(np.float64)
+    if sizes.size == 0:
+        return np.empty(0, dtype=np.float64)
+    lo, hi = float(sizes.min()), float(sizes.max())
+    return np.ceil(lo * hi / sizes - 1e-12)
+
+
+def random_weights(
+    hg: TaskHypergraph,
+    *,
+    low: int = 1,
+    high: int = 100,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Independent uniform integer weights in ``[low, high]``."""
+    if not 1 <= low <= high:
+        raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+    rng = as_rng(seed)
+    return rng.integers(low, high + 1, size=hg.n_hedges).astype(np.float64)
+
+
+def apply_weights(
+    hg: TaskHypergraph,
+    scheme: str,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> TaskHypergraph:
+    """Return ``hg`` reweighted under ``scheme`` ('unit'/'related'/'random')."""
+    if scheme == "unit":
+        return hg.unit()
+    if scheme == "related":
+        return hg.with_weights(related_weights(hg))
+    if scheme == "random":
+        return hg.with_weights(random_weights(hg, seed=seed))
+    raise ValueError(
+        f"unknown weight scheme {scheme!r}; expected one of {WEIGHT_SCHEMES}"
+    )
+
+
+WEIGHT_SCHEMES = ("unit", "related", "random")

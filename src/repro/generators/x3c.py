@@ -1,0 +1,115 @@
+"""Exact Cover by 3-Sets and the Theorem 1 reduction (paper Section III).
+
+Theorem 1 proves MULTIPROC-UNIT NP-complete (and ``(2 - eps)``-hard to
+approximate) by reduction from X3C: the ``3q`` elements become processors,
+``q`` interchangeable tasks may each use any triple of the collection as a
+configuration, and the deadline is 1 — met exactly when the chosen
+triples form an exact cover.
+
+This module provides the instance type, a planted-instance sampler, the
+reduction, and the back-direction extraction used to round-trip the
+equivalence in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching
+from .._util import as_rng
+
+__all__ = [
+    "X3CInstance",
+    "planted_x3c",
+    "x3c_to_multiproc",
+    "cover_from_matching",
+    "is_exact_cover",
+]
+
+
+@dataclass(frozen=True)
+class X3CInstance:
+    """An X3C instance: ``3q`` elements and a collection of 3-subsets."""
+
+    q: int
+    triples: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise ValueError("q must be at least 1")
+        n = 3 * self.q
+        for t in self.triples:
+            if len(t) != 3 or len(set(t)) != 3:
+                raise ValueError(f"not a 3-subset: {t}")
+            if min(t) < 0 or max(t) >= n:
+                raise ValueError(f"element out of range in {t}")
+
+    @property
+    def n_elements(self) -> int:
+        return 3 * self.q
+
+
+def planted_x3c(
+    q: int,
+    extra_triples: int = 0,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> X3CInstance:
+    """Sample a yes-instance: a hidden exact cover plus random decoys.
+
+    The first ``q`` triples of the returned collection are a random
+    partition of the ``3q`` elements (so an exact cover always exists);
+    ``extra_triples`` uniformly random distinct-element triples are
+    appended and the collection is shuffled.
+    """
+    rng = as_rng(seed)
+    perm = rng.permutation(3 * q)
+    triples = [tuple(sorted(map(int, perm[3 * i : 3 * i + 3]))) for i in range(q)]
+    for _ in range(extra_triples):
+        t = tuple(sorted(map(int, rng.choice(3 * q, size=3, replace=False))))
+        triples.append(t)
+    order = rng.permutation(len(triples))
+    return X3CInstance(q=q, triples=tuple(triples[i] for i in order))
+
+
+def x3c_to_multiproc(instance: X3CInstance) -> TaskHypergraph:
+    """Theorem 1's instance ``I2``: elements are processors, ``q`` tasks
+    each offered every triple as a configuration, unit weights.
+
+    The optimal makespan is 1 iff the X3C instance has an exact cover;
+    otherwise it is at least 2 (which is where the ``(2 - eps)``
+    inapproximability comes from).
+    """
+    q = instance.q
+    hedge_task = np.repeat(
+        np.arange(q, dtype=np.int64), len(instance.triples)
+    )
+    pins = [list(t) for _ in range(q) for t in instance.triples]
+    return TaskHypergraph.from_hyperedges(
+        q, instance.n_elements, hedge_task, pins
+    )
+
+
+def cover_from_matching(
+    instance: X3CInstance, matching: HyperSemiMatching
+) -> tuple[tuple[int, int, int], ...]:
+    """Extract the chosen triples from a makespan-1 semi-matching."""
+    chosen = []
+    m = len(instance.triples)
+    for i in range(instance.q):
+        h = int(matching.hedge_of_task[i])
+        chosen.append(instance.triples[h % m])
+    return tuple(chosen)
+
+
+def is_exact_cover(instance: X3CInstance, cover) -> bool:
+    """Check that ``cover`` hits every element exactly once."""
+    seen = [e for t in cover for e in t]
+    return (
+        len(cover) == instance.q
+        and len(seen) == instance.n_elements
+        and set(seen) == set(range(instance.n_elements))
+    )

@@ -1,0 +1,31 @@
+"""Serialisation of instances and results."""
+
+from .matrixmarket import (
+    read_bipartite_mm,
+    read_hypergraph_mm,
+    write_bipartite_mm,
+    write_hypergraph_mm,
+)
+from .serialize import (
+    bipartite_from_dict,
+    bipartite_to_dict,
+    hypergraph_from_dict,
+    hypergraph_to_dict,
+    load_instance,
+    matching_to_dict,
+    save_instance,
+)
+
+__all__ = [
+    "bipartite_to_dict",
+    "bipartite_from_dict",
+    "hypergraph_to_dict",
+    "hypergraph_from_dict",
+    "matching_to_dict",
+    "save_instance",
+    "load_instance",
+    "write_bipartite_mm",
+    "read_bipartite_mm",
+    "write_hypergraph_mm",
+    "read_hypergraph_mm",
+]

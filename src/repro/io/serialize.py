@@ -1,0 +1,135 @@
+"""JSON-friendly serialisation of graphs, hypergraphs and matchings.
+
+Instances round-trip through plain dictionaries (lists of ints/floats
+only), so they can be stored with :mod:`json`, shipped between processes,
+or checked into a repository as fixtures.  Files written by
+:func:`save_instance` carry a ``kind`` tag and a format version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.bipartite import BipartiteGraph
+from ..core.errors import GraphStructureError
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching, SemiMatching
+
+__all__ = [
+    "bipartite_to_dict",
+    "bipartite_from_dict",
+    "hypergraph_to_dict",
+    "hypergraph_from_dict",
+    "matching_to_dict",
+    "save_instance",
+    "load_instance",
+]
+
+_FORMAT_VERSION = 1
+
+
+def bipartite_to_dict(graph: BipartiteGraph) -> dict[str, Any]:
+    """Serialise a bipartite graph (CSR edge list form)."""
+    owner = np.repeat(
+        np.arange(graph.n_tasks, dtype=np.int64), np.diff(graph.task_ptr)
+    )
+    return {
+        "kind": "bipartite",
+        "version": _FORMAT_VERSION,
+        "n_tasks": graph.n_tasks,
+        "n_procs": graph.n_procs,
+        "task_ids": owner.tolist(),
+        "proc_ids": graph.task_adj.tolist(),
+        "weights": graph.weights.tolist(),
+    }
+
+
+def bipartite_from_dict(data: dict[str, Any]) -> BipartiteGraph:
+    """Inverse of :func:`bipartite_to_dict`."""
+    if data.get("kind") != "bipartite":
+        raise GraphStructureError(
+            f"expected kind 'bipartite', got {data.get('kind')!r}"
+        )
+    return BipartiteGraph.from_edges(
+        int(data["n_tasks"]),
+        int(data["n_procs"]),
+        np.asarray(data["task_ids"], dtype=np.int64),
+        np.asarray(data["proc_ids"], dtype=np.int64),
+        np.asarray(data["weights"], dtype=np.float64),
+    )
+
+
+def hypergraph_to_dict(hg: TaskHypergraph) -> dict[str, Any]:
+    """Serialise a hypergraph (task + pin list per hyperedge)."""
+    pins = [
+        hg.hedge_proc_set(h).tolist() for h in range(hg.n_hedges)
+    ]
+    return {
+        "kind": "hypergraph",
+        "version": _FORMAT_VERSION,
+        "n_tasks": hg.n_tasks,
+        "n_procs": hg.n_procs,
+        "hedge_task": hg.hedge_task.tolist(),
+        "pins": pins,
+        "weights": hg.hedge_w.tolist(),
+    }
+
+
+def hypergraph_from_dict(data: dict[str, Any]) -> TaskHypergraph:
+    """Inverse of :func:`hypergraph_to_dict`."""
+    if data.get("kind") != "hypergraph":
+        raise GraphStructureError(
+            f"expected kind 'hypergraph', got {data.get('kind')!r}"
+        )
+    return TaskHypergraph.from_hyperedges(
+        int(data["n_tasks"]),
+        int(data["n_procs"]),
+        np.asarray(data["hedge_task"], dtype=np.int64),
+        data["pins"],
+        np.asarray(data["weights"], dtype=np.float64),
+    )
+
+
+def matching_to_dict(matching: SemiMatching | HyperSemiMatching) -> dict[str, Any]:
+    """Serialise a matching result (assignment + makespan)."""
+    if isinstance(matching, SemiMatching):
+        return {
+            "kind": "semi-matching",
+            "version": _FORMAT_VERSION,
+            "edge_of_task": matching.edge_of_task.tolist(),
+            "makespan": matching.makespan,
+        }
+    return {
+        "kind": "hyper-semi-matching",
+        "version": _FORMAT_VERSION,
+        "hedge_of_task": matching.hedge_of_task.tolist(),
+        "makespan": matching.makespan,
+    }
+
+
+def save_instance(
+    obj: BipartiteGraph | TaskHypergraph, path: str | Path
+) -> None:
+    """Write an instance to ``path`` as JSON."""
+    if isinstance(obj, BipartiteGraph):
+        data = bipartite_to_dict(obj)
+    elif isinstance(obj, TaskHypergraph):
+        data = hypergraph_to_dict(obj)
+    else:
+        raise TypeError(f"cannot serialise {type(obj).__name__}")
+    Path(path).write_text(json.dumps(data))
+
+
+def load_instance(path: str | Path) -> BipartiteGraph | TaskHypergraph:
+    """Read an instance written by :func:`save_instance`."""
+    data = json.loads(Path(path).read_text())
+    kind = data.get("kind")
+    if kind == "bipartite":
+        return bipartite_from_dict(data)
+    if kind == "hypergraph":
+        return hypergraph_from_dict(data)
+    raise GraphStructureError(f"unknown instance kind {kind!r}")

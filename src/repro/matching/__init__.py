@@ -1,0 +1,40 @@
+"""Maximum bipartite matching engines (capacitated).
+
+Four interchangeable engines behind one calling convention (see
+:mod:`repro.matching.base`):
+
+* ``"kuhn"`` — augmenting-path DFS, ``O(VE)``, reference implementation;
+* ``"hopcroft-karp"`` — layered phases, ``O(E sqrt(V))``;
+* ``"push-relabel"`` — the double-push scheme the paper's experiments used
+  (via the MatchMaker C suite);
+* ``"scipy"`` — scipy's C Hopcroft-Karp on an explicitly replicated graph
+  (fastest; the default for the exact algorithm).
+"""
+
+from .base import ENGINES, MatchingResult, get_engine, normalize_capacity
+from .hopcroft_karp import hopcroft_karp_matching
+from .karp_sipser import karp_sipser_matching
+from .kuhn import kuhn_matching
+from .push_relabel import push_relabel_matching
+from .scipy_backend import scipy_matching
+
+ENGINES.update(
+    {
+        "kuhn": kuhn_matching,
+        "hopcroft-karp": hopcroft_karp_matching,
+        "push-relabel": push_relabel_matching,
+        "scipy": scipy_matching,
+    }
+)
+
+__all__ = [
+    "MatchingResult",
+    "normalize_capacity",
+    "get_engine",
+    "ENGINES",
+    "kuhn_matching",
+    "hopcroft_karp_matching",
+    "push_relabel_matching",
+    "scipy_matching",
+    "karp_sipser_matching",
+]

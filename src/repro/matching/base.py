@@ -1,0 +1,108 @@
+"""Common interface for the maximum bipartite matching engines.
+
+The exact SINGLEPROC-UNIT algorithm (paper Section IV-A) uses maximum
+bipartite matching "as a black box".  All engines in this package share one
+calling convention so they are interchangeable and benchmarkable against
+each other:
+
+* the bipartite graph is given in CSR form from the left (task) side:
+  ``adj[ptr[v]:ptr[v+1]]`` are the right-side neighbours of left vertex
+  ``v``;
+* right-side vertices carry an integer *capacity* (how many left vertices
+  they can absorb).  Plain matching is the all-ones capacity case; the
+  exact algorithm's "D copies of each processor" construction is exactly a
+  capacity-``D`` matching, so engines support capacities natively instead
+  of materialising copies.
+
+Engines return a :class:`MatchingResult` with the left->right assignment
+(``-1`` for unmatched) and per-right usage counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["MatchingResult", "normalize_capacity", "ENGINES", "get_engine"]
+
+
+@dataclass(frozen=True)
+class MatchingResult:
+    """Outcome of a (capacitated) maximum bipartite matching computation.
+
+    Attributes
+    ----------
+    match_of_left:
+        For each left vertex, the matched right vertex or ``-1``.
+    use_of_right:
+        For each right vertex, the number of left vertices matched to it
+        (never exceeds its capacity).
+    """
+
+    match_of_left: np.ndarray
+    use_of_right: np.ndarray
+
+    @property
+    def cardinality(self) -> int:
+        """Number of matched left vertices."""
+        return int(np.sum(self.match_of_left >= 0))
+
+    def is_left_perfect(self) -> bool:
+        """True when every left vertex is matched."""
+        return bool(np.all(self.match_of_left >= 0))
+
+    def validate(self, n_left: int, ptr: np.ndarray, adj: np.ndarray,
+                 cap: np.ndarray) -> None:
+        """Check the result is a feasible capacitated matching.
+
+        Used by tests as an oracle; raises ``AssertionError`` on violation.
+        """
+        assert self.match_of_left.shape == (n_left,)
+        use = np.zeros_like(cap)
+        for v in range(n_left):
+            u = int(self.match_of_left[v])
+            if u < 0:
+                continue
+            assert u in set(int(x) for x in adj[ptr[v]:ptr[v + 1]]), (
+                f"left {v} matched to non-neighbour {u}"
+            )
+            use[u] += 1
+        assert np.all(use <= cap), "capacity exceeded"
+        assert np.array_equal(use, self.use_of_right), "use_of_right mismatch"
+
+
+def normalize_capacity(
+    n_right: int, cap: int | np.ndarray | None
+) -> np.ndarray:
+    """Broadcast ``cap`` into a per-right-vertex int64 capacity array."""
+    if cap is None:
+        return np.ones(n_right, dtype=np.int64)
+    if np.isscalar(cap):
+        c = int(cap)
+        if c < 0:
+            raise ValueError("capacity must be non-negative")
+        return np.full(n_right, c, dtype=np.int64)
+    arr = np.ascontiguousarray(cap, dtype=np.int64)
+    if arr.shape != (n_right,):
+        raise ValueError(
+            f"capacity must be scalar or length-{n_right}, got {arr.shape}"
+        )
+    if arr.size and arr.min() < 0:
+        raise ValueError("capacity must be non-negative")
+    return arr
+
+
+# Populated by repro.matching.__init__ to avoid circular imports.
+ENGINES: dict[str, Callable] = {}
+
+
+def get_engine(name: str) -> Callable:
+    """Look up a matching engine by name (see :data:`ENGINES`)."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown matching engine {name!r}; available: {sorted(ENGINES)}"
+        ) from None

@@ -1,0 +1,133 @@
+"""Karp-Sipser matching initialisation (extension).
+
+The matching codes the paper builds on (MatchMaker — Duff, Kaya, Uçar
+ref [9]; Langguth, Manne, Sanders ref [16]) initialise their exact
+engines with the Karp-Sipser heuristic: repeatedly match a *degree-one*
+vertex to its only neighbour (a provably safe move — some maximum
+matching contains it), and when no degree-one vertex exists match an
+arbitrary edge.  The result is a maximal (not necessarily maximum)
+matching that is optimal on forests and in practice leaves very few
+augmenting paths for the exact phase.
+
+This implementation supports right-vertex capacities with the same
+semantics as the engines (a right vertex with residual capacity behaves
+like ``cap`` interchangeable copies), so it can warm-start the exact
+SINGLEPROC-UNIT algorithm's probes.
+
+Not registered in :data:`repro.matching.ENGINES` — it is *maximal*, not
+*maximum*; use it as an initialiser or as a fast standalone heuristic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .base import MatchingResult, normalize_capacity
+
+__all__ = ["karp_sipser_matching"]
+
+
+def karp_sipser_matching(
+    n_left: int,
+    n_right: int,
+    ptr: np.ndarray,
+    adj: np.ndarray,
+    cap: int | np.ndarray | None = None,
+    seed: int | None = 0,
+) -> MatchingResult:
+    """Maximal capacitated matching via the Karp-Sipser rule.
+
+    Degree-one moves are exact; the fallback matches the lowest-index
+    remaining left vertex to its least-used eligible neighbour
+    (``seed`` reserved for future randomised tie-breaking; the default
+    is deterministic).
+    """
+    capacity = normalize_capacity(n_right, cap)
+    ptr = np.asarray(ptr, dtype=np.int64)
+    adj = np.asarray(adj, dtype=np.int64)
+
+    match_of_left = np.full(n_left, -1, dtype=np.int64)
+    use = np.zeros(n_right, dtype=np.int64)
+
+    # residual degrees; a right vertex "dies" when its capacity is spent,
+    # a left vertex dies when matched
+    left_alive = np.ones(n_left, dtype=bool)
+    right_alive = capacity > 0
+    # degree of left vertex = alive eligible neighbours
+    left_deg = np.zeros(n_left, dtype=np.int64)
+    right_deg = np.zeros(n_right, dtype=np.int64)  # alive incident lefts
+    nbrs_of_right: list[list[int]] = [[] for _ in range(n_right)]
+    for v in range(n_left):
+        for k in range(ptr[v], ptr[v + 1]):
+            u = int(adj[k])
+            if right_alive[u]:
+                left_deg[v] += 1
+                right_deg[u] += 1
+                nbrs_of_right[u].append(v)
+
+    ones: deque[int] = deque(
+        v for v in range(n_left) if left_alive[v] and left_deg[v] == 1
+    )
+
+    def kill_right(u: int) -> None:
+        """Right vertex spent: decrement neighbours' degrees."""
+        right_alive[u] = False
+        for w in nbrs_of_right[u]:
+            if left_alive[w]:
+                left_deg[w] -= 1
+                if left_deg[w] == 1:
+                    ones.append(w)
+
+    def do_match(v: int, u: int) -> None:
+        match_of_left[v] = u
+        left_alive[v] = False
+        use[u] += 1
+        for k in range(ptr[v], ptr[v + 1]):
+            uu = int(adj[k])
+            if right_alive[uu]:
+                right_deg[uu] -= 1
+        if use[u] >= capacity[u]:
+            kill_right(u)
+
+    pending = deque(range(n_left))
+    while True:
+        # exhaust the safe degree-one moves first
+        while ones:
+            v = ones.popleft()
+            if not left_alive[v] or left_deg[v] != 1:
+                continue
+            u = next(
+                (
+                    int(adj[k])
+                    for k in range(ptr[v], ptr[v + 1])
+                    if right_alive[int(adj[k])]
+                ),
+                -1,
+            )
+            if u >= 0:
+                do_match(v, u)
+        # fallback: first still-alive left vertex, least-used neighbour
+        while pending and (
+            not left_alive[pending[0]] or left_deg[pending[0]] == 0
+        ):
+            v = pending[0]
+            if left_alive[v] and left_deg[v] == 0:
+                left_alive[v] = False  # isolated: give up on it
+            pending.popleft()
+        if not pending:
+            break
+        v = pending[0]
+        if left_deg[v] == 1:
+            ones.append(v)  # became degree-one meanwhile
+            continue
+        candidates = [
+            int(adj[k])
+            for k in range(ptr[v], ptr[v + 1])
+            if right_alive[int(adj[k])]
+        ]
+        u = min(candidates, key=lambda uu: (use[uu], uu))
+        do_match(v, u)
+
+    return MatchingResult(match_of_left=match_of_left, use_of_right=use)

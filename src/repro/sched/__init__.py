@@ -1,0 +1,7 @@
+"""User-facing scheduling layer: named problems, solve(), schedules."""
+
+from .model import SchedulingProblem, TaskSpec
+from .schedule import PlacedPart, Schedule
+from .solver import solve
+
+__all__ = ["SchedulingProblem", "TaskSpec", "Schedule", "PlacedPart", "solve"]

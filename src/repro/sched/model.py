@@ -1,0 +1,187 @@
+"""User-facing scheduling model (the paper's problem statement, Section II).
+
+:class:`SchedulingProblem` lets a user state the problem in scheduling
+vocabulary — named tasks, named processors, per-task *configurations*
+(sets of processors with an execution time) — and converts it to the graph
+and hypergraph forms the algorithms operate on.
+
+Example
+-------
+>>> prob = SchedulingProblem(processors=["cpu0", "cpu1", "gpu"])
+>>> prob.add_task("render", [(("gpu",), 2.0), (("cpu0", "cpu1"), 5.0)])
+>>> prob.add_task("encode", [(("cpu0",), 3.0), (("cpu1",), 3.0)])
+>>> hg = prob.to_hypergraph()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.bipartite import BipartiteGraph
+from ..core.errors import GraphStructureError
+from ..core.hypergraph import TaskHypergraph
+
+__all__ = ["TaskSpec", "SchedulingProblem"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One task: a name plus its configurations.
+
+    ``configurations[j]`` is a pair ``(processors, time)``: the processor
+    names of the ``j``-th configuration ``S_i[j]`` and the execution time
+    ``w`` the task takes on *each* of them when run in that configuration.
+    """
+
+    name: Hashable
+    configurations: tuple[tuple[tuple[Hashable, ...], float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.configurations:
+            raise GraphStructureError(
+                f"task {self.name!r} needs at least one configuration"
+            )
+        for procs, time in self.configurations:
+            if not procs:
+                raise GraphStructureError(
+                    f"task {self.name!r} has an empty processor set"
+                )
+            if len(set(procs)) != len(procs):
+                raise GraphStructureError(
+                    f"task {self.name!r} repeats a processor in a "
+                    "configuration"
+                )
+            if not (time > 0 and np.isfinite(time)):
+                raise GraphStructureError(
+                    f"task {self.name!r} has non-positive time {time!r}"
+                )
+
+    @property
+    def is_sequential(self) -> bool:
+        """True when every configuration uses a single processor."""
+        return all(len(procs) == 1 for procs, _ in self.configurations)
+
+
+@dataclass
+class SchedulingProblem:
+    """A MULTIPROC/SINGLEPROC instance under construction.
+
+    Processors are fixed at creation; tasks are added with
+    :meth:`add_task`.  Conversion helpers produce the core graph objects
+    plus the name maps needed to interpret results.
+    """
+
+    processors: Sequence[Hashable]
+    tasks: list[TaskSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.processors = list(self.processors)
+        if len(set(self.processors)) != len(self.processors):
+            raise GraphStructureError("duplicate processor names")
+        self._proc_index = {p: i for i, p in enumerate(self.processors)}
+
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        name: Hashable,
+        configurations: Iterable[tuple[Iterable[Hashable], float]],
+    ) -> TaskSpec:
+        """Add a task; returns its :class:`TaskSpec`.
+
+        ``configurations`` is an iterable of ``(processors, time)`` pairs.
+        Unknown processor names raise :class:`GraphStructureError`.
+        """
+        confs = []
+        for procs, time in configurations:
+            procs = tuple(procs)
+            for pr in procs:
+                if pr not in self._proc_index:
+                    raise GraphStructureError(
+                        f"unknown processor {pr!r} in task {name!r}"
+                    )
+            confs.append((procs, float(time)))
+        spec = TaskSpec(name=name, configurations=tuple(confs))
+        self.tasks.append(spec)
+        return spec
+
+    def add_sequential_task(
+        self,
+        name: Hashable,
+        options: Iterable[tuple[Hashable, float]],
+    ) -> TaskSpec:
+        """Add a SINGLEPROC-style task: ``(processor, time)`` options."""
+        return self.add_task(name, (((pr,), t) for pr, t in options))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.processors)
+
+    @property
+    def is_singleproc(self) -> bool:
+        """True when every task is sequential (bipartite instance)."""
+        return all(t.is_sequential for t in self.tasks)
+
+    @property
+    def is_unit(self) -> bool:
+        """True when every configuration takes unit time."""
+        return all(
+            t == 1.0 for spec in self.tasks for _, t in spec.configurations
+        )
+
+    def proc_index(self, name: Hashable) -> int:
+        """Numeric id of a processor name."""
+        return self._proc_index[name]
+
+    def proc_name(self, index: int) -> Hashable:
+        """Processor name of a numeric id."""
+        return self.processors[index]
+
+    # ------------------------------------------------------------------
+    def to_hypergraph(self) -> TaskHypergraph:
+        """The MULTIPROC hypergraph of this problem.
+
+        Hyperedges are emitted task-major in configuration order, so
+        hyperedge ids group exactly like ``task_ptr`` slices.
+        """
+        hedge_task: list[int] = []
+        pins: list[list[int]] = []
+        weights: list[float] = []
+        for i, spec in enumerate(self.tasks):
+            for procs, time in spec.configurations:
+                hedge_task.append(i)
+                pins.append([self._proc_index[p] for p in procs])
+                weights.append(time)
+        return TaskHypergraph.from_hyperedges(
+            self.n_tasks,
+            self.n_procs,
+            np.asarray(hedge_task, dtype=np.int64),
+            pins,
+            np.asarray(weights, dtype=np.float64),
+        )
+
+    def to_bipartite(self) -> BipartiteGraph:
+        """The SINGLEPROC bipartite graph; raises if a task is parallel."""
+        if not self.is_singleproc:
+            bad = next(t.name for t in self.tasks if not t.is_sequential)
+            raise GraphStructureError(
+                f"task {bad!r} has a multi-processor configuration; "
+                "this is a MULTIPROC instance — use to_hypergraph()"
+            )
+        nbrs = []
+        weights = []
+        for spec in self.tasks:
+            nbrs.append(
+                [self._proc_index[procs[0]] for procs, _ in spec.configurations]
+            )
+            weights.append([t for _, t in spec.configurations])
+        return BipartiteGraph.from_neighbor_lists(
+            nbrs, n_procs=self.n_procs, weights=weights
+        )

@@ -1,0 +1,120 @@
+"""Terminal visualisation helpers (extension).
+
+Dependency-free ASCII renderings for interactive analysis: load
+histograms, per-processor load bars, degree distributions and a
+side-by-side algorithm comparison.  These complement the numeric
+summaries in :mod:`repro.core.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .core.bipartite import BipartiteGraph
+from .core.hypergraph import TaskHypergraph
+from .core.semimatching import HyperSemiMatching, SemiMatching
+
+__all__ = [
+    "histogram",
+    "load_bars",
+    "degree_histogram",
+    "compare_algorithms",
+]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def histogram(
+    values: np.ndarray,
+    *,
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """ASCII histogram of ``values`` (counts per bin, bar-scaled)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return f"{title}\n(no data)" if title else "(no data)"
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        hi = lo + 1.0
+    counts, edges = np.histogram(values, bins=bins, range=(lo, hi))
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for c, e0, e1 in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"[{e0:10.3g}, {e1:10.3g}) {c:>7} |{bar}")
+    return "\n".join(lines)
+
+
+def load_bars(
+    matching: SemiMatching | HyperSemiMatching,
+    *,
+    width: int = 50,
+    max_procs: int = 32,
+) -> str:
+    """Per-processor load bars (top ``max_procs`` heaviest processors)."""
+    loads = matching.loads()
+    if loads.size == 0:
+        return "(no processors)"
+    mk = loads.max() or 1.0
+    order = np.argsort(loads)[::-1][:max_procs]
+    lines = [f"loads (top {min(max_procs, loads.size)} of {loads.size}; "
+             f"makespan {mk:g})"]
+    for u in order:
+        frac = loads[u] / mk
+        full = int(frac * width)
+        rem = int((frac * width - full) * (len(_BLOCKS) - 1))
+        bar = "█" * full + (_BLOCKS[rem] if rem else "")
+        lines.append(f"P{int(u):<6} {loads[u]:>10g} |{bar}")
+    return "\n".join(lines)
+
+
+def degree_histogram(
+    instance: BipartiteGraph | TaskHypergraph,
+    *,
+    width: int = 40,
+) -> str:
+    """Histogram of task degrees (options per task)."""
+    if isinstance(instance, BipartiteGraph):
+        deg = instance.task_degrees()
+        label = "edges per task"
+    else:
+        deg = instance.task_degrees()
+        label = "configurations per task"
+    return histogram(
+        deg, bins=min(10, max(int(deg.max()), 1)), width=width,
+        title=f"{label} (n={deg.size})",
+    )
+
+
+def compare_algorithms(
+    results: Mapping[str, SemiMatching | HyperSemiMatching],
+    *,
+    lower_bound: float | None = None,
+    width: int = 40,
+) -> str:
+    """Bar chart comparing algorithm makespans (lower is better)."""
+    if not results:
+        return "(no results)"
+    worst = max(m.makespan for m in results.values()) or 1.0
+    name_w = max(len(str(k)) for k in results)
+    lines = []
+    for name, m in sorted(results.items(), key=lambda kv: kv[1].makespan):
+        bar = "#" * int(round(width * m.makespan / worst))
+        extra = (
+            f"  ({m.makespan / lower_bound:.3f} x LB)"
+            if lower_bound
+            else ""
+        )
+        lines.append(
+            f"{str(name):<{name_w}} {m.makespan:>10g} |{bar}{extra}"
+        )
+    if lower_bound:
+        bar = "#" * int(round(width * lower_bound / worst))
+        lines.append(
+            f"{'LB':<{name_w}} {lower_bound:>10g} |{bar}  (lower bound)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Tests for the LP-rounding 2-approximation (repro.algorithms.approx)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    exact_singleproc_unit,
+    exhaustive_singleproc,
+    lst_approximation,
+)
+from repro.core import BipartiteGraph, InfeasibleError
+
+from conftest import bipartite_graphs
+
+
+class TestLST:
+    def test_trivial_instance(self):
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0]], n_procs=1, weights=[[5.0]]
+        )
+        rep = lst_approximation(g)
+        assert rep.matching.makespan == 5.0
+        assert rep.threshold == pytest.approx(5.0, rel=1e-4)
+
+    def test_empty(self):
+        g = BipartiteGraph.from_edges(0, 2, [], [])
+        rep = lst_approximation(g)
+        assert rep.matching.makespan == 0.0
+
+    def test_infeasible(self):
+        g = BipartiteGraph.from_edges(2, 1, [0], [0])
+        with pytest.raises(Exception):
+            lst_approximation(g)
+
+    def test_balances_identical_tasks(self):
+        # 4 identical unit tasks on 2 processors: LP threshold 2,
+        # rounding gives at most 4, optimal is 2
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0, 1]] * 4, n_procs=2
+        )
+        rep = lst_approximation(g)
+        assert rep.matching.makespan <= 2 * rep.threshold + 1e-6
+
+    def test_respects_resource_constraints(self):
+        # heavy task restricted to P0; the approximation may not move it
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0], [0, 1]], n_procs=2, weights=[[9.0], [1.0, 1.0]]
+        )
+        rep = lst_approximation(g)
+        assert rep.matching.proc_of_task[0] == 0
+        assert rep.matching.makespan <= 10.0
+
+    def test_certificate_fields(self):
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0, 1], [0, 1]], n_procs=2, weights=[[3.0, 4.0], [4.0, 3.0]]
+        )
+        rep = lst_approximation(g)
+        assert rep.lp_rounds >= 1
+        assert rep.certified_ratio <= 2.0 + 1e-6
+
+
+@given(bipartite_graphs(max_tasks=7, max_procs=4, weighted=True))
+@settings(max_examples=25, deadline=None)
+def test_factor_two_certificate(g):
+    """Property: makespan <= 2 * threshold and threshold <= OPT."""
+    rep = lst_approximation(g)
+    opt = exhaustive_singleproc(g).makespan
+    assert rep.threshold <= opt + 1e-4
+    assert rep.matching.makespan <= 2 * opt + 1e-6
+
+
+@given(bipartite_graphs(max_tasks=8, max_procs=4, weighted=False))
+@settings(max_examples=15, deadline=None)
+def test_factor_two_on_unit_instances(g):
+    """On unit graphs the approximation is within 2x of the exact
+    polynomial algorithm."""
+    rep = lst_approximation(g)
+    opt = exact_singleproc_unit(g).optimal_makespan
+    assert rep.matching.makespan <= 2 * opt + 1e-6

@@ -1,0 +1,158 @@
+"""Tests for repro.core.bipartite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BipartiteGraph, GraphStructureError
+
+from conftest import bipartite_graphs
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = BipartiteGraph.from_edges(2, 2, [0, 0, 1], [0, 1, 0])
+        assert g.n_tasks == 2
+        assert g.n_procs == 2
+        assert g.n_edges == 3
+        assert g.task_neighbors(0).tolist() == [0, 1]
+        assert g.task_neighbors(1).tolist() == [0]
+
+    def test_default_weights_are_unit(self):
+        g = BipartiteGraph.from_edges(1, 2, [0, 0], [0, 1])
+        assert g.is_unit
+        assert g.weights.tolist() == [1.0, 1.0]
+
+    def test_csr_preserves_edge_order_per_task(self):
+        # edges listed P3, P1 for task 0 must stay in that order (tie
+        # behaviour of the greedies depends on it)
+        g = BipartiteGraph.from_edges(1, 4, [0, 0], [3, 1])
+        assert g.task_neighbors(0).tolist() == [3, 1]
+
+    def test_from_neighbor_lists_with_weights(self):
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0, 1], [1]], n_procs=2, weights=[[2.0, 3.0], [4.0]]
+        )
+        assert g.task_edge_weights(0).tolist() == [2.0, 3.0]
+        assert g.task_edge_weights(1).tolist() == [4.0]
+
+    def test_neighbor_lists_infers_n_procs(self):
+        g = BipartiteGraph.from_neighbor_lists([[4], [0]])
+        assert g.n_procs == 5
+
+    def test_empty_graph(self):
+        g = BipartiteGraph.from_edges(0, 0, [], [])
+        assert g.n_edges == 0
+        g.validate()
+
+    def test_mismatched_endpoint_lengths(self):
+        with pytest.raises(GraphStructureError, match="equal length"):
+            BipartiteGraph.from_edges(1, 1, [0], [0, 0])
+
+    def test_task_id_out_of_range(self):
+        with pytest.raises(GraphStructureError, match="task id"):
+            BipartiteGraph.from_edges(1, 1, [1], [0])
+
+    def test_proc_id_out_of_range(self):
+        with pytest.raises(GraphStructureError, match="processor id"):
+            BipartiteGraph.from_edges(1, 1, [0], [5])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(GraphStructureError, match="positive"):
+            BipartiteGraph.from_edges(1, 1, [0], [0], [0.0])
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(GraphStructureError, match="finite"):
+            BipartiteGraph.from_edges(1, 1, [0], [0], [float("nan")])
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(GraphStructureError, match="one entry per edge"):
+            BipartiteGraph.from_edges(1, 1, [0], [0], [1.0, 2.0])
+
+    def test_weights_must_mirror_neighbors(self):
+        with pytest.raises(GraphStructureError, match="mirror"):
+            BipartiteGraph.from_neighbor_lists(
+                [[0, 1]], n_procs=2, weights=[[1.0]]
+            )
+
+
+class TestViews:
+    def test_degrees(self):
+        g = BipartiteGraph.from_edges(3, 2, [0, 0, 1, 2], [0, 1, 0, 0])
+        assert g.task_degrees().tolist() == [2, 1, 1]
+        assert g.proc_degrees().tolist() == [3, 1]
+
+    def test_proc_neighbors(self):
+        g = BipartiteGraph.from_edges(3, 2, [0, 0, 1, 2], [0, 1, 0, 0])
+        assert sorted(g.proc_neighbors(0).tolist()) == [0, 1, 2]
+        assert g.proc_neighbors(1).tolist() == [0]
+
+    def test_csc_weight_alignment(self):
+        g = BipartiteGraph.from_edges(
+            2, 2, [0, 0, 1], [0, 1, 0], [5.0, 7.0, 9.0]
+        )
+        # weights seen from the processor side must match the CSR ones
+        w_csc = g.weights[g.proc_edge]
+        for u in range(2):
+            lo, hi = g.proc_ptr[u], g.proc_ptr[u + 1]
+            for pos in range(lo, hi):
+                t = g.proc_adj[pos]
+                assert w_csc[pos] in g.task_edge_weights(t).tolist()
+
+
+class TestValidate:
+    def test_task_without_processor(self):
+        g = BipartiteGraph.from_edges(2, 1, [0], [0])
+        with pytest.raises(GraphStructureError, match="task 1 has no"):
+            g.validate()
+        g.validate(require_total=False)  # allowed when not required
+
+
+class TestConversions:
+    def test_with_weights_roundtrip(self):
+        g = BipartiteGraph.from_edges(1, 2, [0, 0], [0, 1])
+        g2 = g.with_weights(np.array([2.0, 3.0]))
+        assert not g2.is_unit
+        assert g2.unit().is_unit
+        assert g2.task_adj is g.task_adj  # structure shared
+
+    def test_with_weights_validates(self):
+        g = BipartiteGraph.from_edges(1, 1, [0], [0])
+        with pytest.raises(GraphStructureError):
+            g.with_weights(np.array([-1.0]))
+        with pytest.raises(GraphStructureError):
+            g.with_weights(np.array([1.0, 2.0]))
+
+    def test_to_biadjacency(self):
+        g = BipartiteGraph.from_edges(2, 3, [0, 1], [2, 0], [4.0, 6.0])
+        m = g.to_biadjacency()
+        assert m.shape == (2, 3)
+        assert m[0, 2] == 4.0
+        assert m[1, 0] == 6.0
+        assert m.nnz == 2
+
+    def test_to_networkx(self):
+        g = BipartiteGraph.from_edges(2, 2, [0, 1], [1, 0])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 2
+        assert nxg.has_edge(("T", 0), ("P", 1))
+
+
+@given(bipartite_graphs(weighted=True))
+@settings(max_examples=60, deadline=None)
+def test_csr_csc_are_consistent(g):
+    """Property: the CSC view enumerates exactly the CSR edges."""
+    g.validate()
+    csr_edges = set()
+    for i in range(g.n_tasks):
+        for k in range(g.task_ptr[i], g.task_ptr[i + 1]):
+            csr_edges.add((i, int(g.task_adj[k]), float(g.weights[k])))
+    csc_edges = set()
+    for u in range(g.n_procs):
+        for pos in range(g.proc_ptr[u], g.proc_ptr[u + 1]):
+            e = int(g.proc_edge[pos])
+            csc_edges.add((int(g.proc_adj[pos]), u, float(g.weights[e])))
+    assert csr_edges == csc_edges
+    assert int(g.task_degrees().sum()) == g.n_edges
+    assert int(g.proc_degrees().sum()) == g.n_edges

@@ -1,0 +1,194 @@
+"""Edge-case and failure-injection tests across modules.
+
+The main suites cover the happy paths and the core properties; this file
+stresses the corners: degenerate shapes, boundary parameters, and inputs
+engineered to hit rarely-taken branches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BipartiteGraph,
+    GraphStructureError,
+    TaskHypergraph,
+    instance_stats,
+    load_stats,
+)
+from repro.core.semimatching import HyperSemiMatching, SemiMatching
+
+
+class TestDegenerateShapes:
+    def test_single_task_single_proc(self):
+        g = BipartiteGraph.from_neighbor_lists([[0]], n_procs=1)
+        from repro.algorithms import exact_singleproc_unit
+
+        assert exact_singleproc_unit(g).optimal_makespan == 1
+
+    def test_many_procs_one_task(self):
+        g = BipartiteGraph.from_neighbor_lists([[7]], n_procs=100)
+        from repro.algorithms import sorted_greedy
+
+        m = sorted_greedy(g)
+        assert m.makespan == 1.0
+        assert int(np.sum(m.loads() > 0)) == 1
+
+    def test_hyperedge_covering_all_processors(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0, 1, 2, 3]]], n_procs=4, weights=[[2.5]]
+        )
+        from repro.algorithms import sorted_greedy_hyp
+
+        m = sorted_greedy_hyp(hg)
+        assert m.makespan == 2.5
+        assert np.all(m.loads() == 2.5)
+
+    def test_task_with_many_identical_configs(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0]] * 5], n_procs=1
+        )
+        from repro.algorithms import vector_greedy_hyp
+
+        assert vector_greedy_hyp(hg).makespan == 1.0
+
+    def test_empty_hypergraph_stats(self):
+        hg = TaskHypergraph.from_hyperedges(0, 0, [], [])
+        st = instance_stats(hg)
+        assert st.n_tasks == 0
+        assert st.mean_config_size == 0.0
+
+    def test_zero_task_matching_stats(self):
+        hg = TaskHypergraph.from_hyperedges(0, 3, [], [])
+        m = HyperSemiMatching(hg, np.empty(0, dtype=np.int64))
+        st = load_stats(m)
+        assert st.makespan == 0.0
+        assert st.idle_procs == 3
+
+
+class TestBoundaryParameters:
+    def test_hilo_d_zero(self):
+        from repro.generators import hilo_bipartite
+
+        g = hilo_bipartite(16, 8, 2, 0)
+        # d=0: each task sees exactly 1 processor per group (k = min(i,pg))
+        assert g.task_degrees().max() <= 2
+
+    def test_fewgmanyg_two_groups(self):
+        from repro.generators import fewgmanyg_bipartite
+
+        # g < 3 falls back to the whole right side as pool
+        g = fewgmanyg_bipartite(20, 8, 2, 3, seed=0)
+        assert g.task_degrees().min() >= 1
+
+    def test_generate_multiproc_dv_one(self):
+        from repro.generators import generate_multiproc
+
+        hg = generate_multiproc(30, 8, g=2, dv=1, dh=2, seed=0)
+        # binomial(2,0.5) clamped: degrees in {1, 2}
+        assert set(np.unique(hg.task_degrees())) <= {1, 2}
+
+    def test_related_weights_uniform_sizes(self):
+        from repro.generators import related_weights
+
+        hg = TaskHypergraph.from_configurations(
+            [[[0, 1]], [[2, 3]]], n_procs=4
+        )
+        w = related_weights(hg)
+        # min_s = max_s = 2 -> w = ceil(4/2) = 2 for all
+        assert w.tolist() == [2.0, 2.0]
+
+    def test_grasp_single_iteration(self):
+        from repro.algorithms import grasp, local_search, sorted_greedy_hyp
+
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [1]], [[0], [1]]], n_procs=2
+        )
+        rep = grasp(hg, iterations=1, seed=0)
+        base = local_search(sorted_greedy_hyp(hg)).final_makespan
+        assert rep.best_makespan == base
+
+
+class TestFailureInjection:
+    def test_semimatching_rejects_negative_index(self):
+        g = BipartiteGraph.from_neighbor_lists([[0]], n_procs=1)
+        from repro.core import InvalidMatchingError
+
+        with pytest.raises(InvalidMatchingError):
+            SemiMatching(g, np.array([-1]))
+
+    def test_from_hyperedges_rejects_float_tasks_gracefully(self):
+        # float task ids are coerced to int64 by check_1d_int; values must
+        # survive the round trip
+        hg = TaskHypergraph.from_hyperedges(
+            2, 2, np.array([0.0, 1.0]), [[0], [1]]
+        )
+        assert hg.hedge_task.tolist() == [0, 1]
+
+    def test_unsorted_pins_preserved_and_handled(self):
+        # pins stored in given (unsorted) order; algorithms must not rely
+        # on sortedness
+        hg = TaskHypergraph.from_configurations(
+            [[[3, 0, 2], [1]]], n_procs=4
+        )
+        from repro.algorithms import (
+            expected_vector_greedy_hyp,
+            vector_greedy_hyp,
+        )
+
+        assert vector_greedy_hyp(hg).makespan == 1.0
+        assert expected_vector_greedy_hyp(hg).makespan == 1.0
+
+    def test_local_search_on_single_configuration_tasks(self):
+        from repro.algorithms import local_search, sorted_greedy_hyp
+
+        hg = TaskHypergraph.from_configurations(
+            [[[0]], [[0]]], n_procs=1
+        )
+        rep = local_search(sorted_greedy_hyp(hg))
+        assert rep.moves == 0  # nothing movable
+        assert rep.final_makespan == 2.0
+
+    def test_stats_weight_range(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0]]], n_procs=1, weights=[[7.0]]
+        )
+        st = instance_stats(hg)
+        assert st.weight_min == st.weight_max == 7.0
+
+    def test_online_scheduler_duplicate_processors_in_config(self):
+        from repro.algorithms import OnlineScheduler
+
+        s = OnlineScheduler(n_procs=2)
+        # duplicates inside a submitted configuration are collapsed
+        rec = s.submit([((0, 0, 1), 2.0)])
+        assert rec.processors == (0, 1)
+        assert s.makespan == 2.0
+
+
+class TestDeterminismAcrossRuns:
+    def test_greedy_hypergraph_bitwise_stable(self):
+        from repro.algorithms import expected_vector_greedy_hyp
+        from repro.generators import generate_multiproc
+
+        hg = generate_multiproc(
+            100, 16, g=2, dv=3, dh=3, weights="related", seed=5
+        )
+        a = expected_vector_greedy_hyp(hg)
+        b = expected_vector_greedy_hyp(hg)
+        assert np.array_equal(a.hedge_of_task, b.hedge_of_task)
+
+    def test_experiment_runner_seeding_isolates_families(self):
+        from repro.experiments import run_instances
+        from repro.experiments.instances import InstanceSpec
+
+        spec_a = InstanceSpec(
+            name="A", family="fewgmanyg", g=4, n=64, p=16, dv=2, dh=2
+        )
+        res1 = run_instances([spec_a], n_seeds=2, algorithms=("SGH",))
+        res2 = run_instances(
+            [spec_a, spec_a], n_seeds=2, algorithms=("SGH",)
+        )
+        # the same family in a longer list sees identical seeds
+        assert res1.rows[0].quality == res2.rows[0].quality == (
+            res2.rows[1].quality
+        )

@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts run and print what they promise.
+
+Only the fast examples run here (the cluster/table ones take minutes at
+their default sizes; they are exercised by the benchmarks instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "makespan" in out
+    assert "render" in out
+    assert "lower bound" in out.lower()
+
+
+def test_worst_cases():
+    out = run_example("worst_cases.py")
+    assert "fooled" in out
+    assert "optimum=1" in out
+
+
+def test_reduction_demo():
+    out = run_example("reduction_demo.py")
+    assert "exact cover" in out
+    assert "optimal makespan: 1" in out
+
+
+def test_certificates_and_kernels():
+    out = run_example("certificates_and_kernels.py")
+    assert "INFEASIBLE" in out
+    assert "witness re-verified" in out
+    assert "dominated dropped" in out
+
+
+@pytest.mark.slow
+def test_cluster_scheduling_small():
+    out = run_example("cluster_scheduling.py", "160", "32")
+    assert "sorted-greedy-hyp" in out
+    assert "local search" in out.lower()

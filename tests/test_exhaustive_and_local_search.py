@@ -1,0 +1,116 @@
+"""Tests for the exhaustive oracle and the local-search refinement."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    exhaustive_multiproc,
+    exhaustive_singleproc,
+    local_search,
+    sorted_greedy_hyp,
+)
+from repro.core import HyperSemiMatching, SolverError, TaskHypergraph
+
+from conftest import random_hypergraph, task_hypergraphs
+
+
+def brute_force_makespan(hg: TaskHypergraph) -> float:
+    """Plain enumeration, no pruning — the oracle's oracle."""
+    best = np.inf
+    options = [hg.task_hedge_ids(i).tolist() for i in range(hg.n_tasks)]
+    for pick in product(*options):
+        loads = np.zeros(hg.n_procs)
+        for h in pick:
+            loads[hg.hedge_proc_set(h)] += hg.hedge_w[h]
+        best = min(best, loads.max() if loads.size else 0.0)
+    return float(best)
+
+
+class TestExhaustive:
+    def test_matches_plain_enumeration(self):
+        rng = np.random.default_rng(23)
+        for _ in range(25):
+            hg = random_hypergraph(rng, max_tasks=5, max_procs=4)
+            assert exhaustive_multiproc(hg).makespan == pytest.approx(
+                brute_force_makespan(hg)
+            )
+
+    def test_node_limit(self):
+        rng = np.random.default_rng(1)
+        hg = random_hypergraph(rng, max_tasks=8, max_procs=5)
+        with pytest.raises(SolverError, match="node_limit"):
+            exhaustive_multiproc(hg, node_limit=1)
+
+    def test_empty(self):
+        hg = TaskHypergraph.from_hyperedges(0, 2, [], [])
+        assert exhaustive_multiproc(hg).makespan == 0.0
+
+    def test_initial_upper_bound_does_not_break_optimality(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [1]], [[0]]], n_procs=2
+        )
+        m = exhaustive_multiproc(hg, initial_upper_bound=10.0)
+        assert m.makespan == 1.0
+
+    def test_singleproc_wrapper(self):
+        from repro.core import BipartiteGraph
+
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0, 1], [0], [1]], n_procs=2,
+            weights=[[3.0, 1.0], [2.0], [2.0]],
+        )
+        m = exhaustive_singleproc(g)
+        # optimal: T0->P1(1), T1->P0(2), T2->P1(2) -> makespan 3
+        assert m.makespan == 3.0
+
+
+class TestLocalSearch:
+    def test_never_worsens(self):
+        rng = np.random.default_rng(31)
+        for _ in range(30):
+            hg = random_hypergraph(rng)
+            start = sorted_greedy_hyp(hg)
+            rep = local_search(start)
+            assert rep.final_makespan <= rep.initial_makespan + 1e-9
+            assert rep.matching.makespan == rep.final_makespan
+
+    def test_fixes_bad_assignment(self):
+        # both tasks piled on P0 by hand; one move fixes it
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [1]], [[0], [2]]], n_procs=3
+        )
+        bad = HyperSemiMatching(hg, np.array([0, 2]))
+        assert bad.makespan == 2.0
+        rep = local_search(bad)
+        assert rep.final_makespan == 1.0
+        assert rep.moves >= 1
+
+    def test_respects_max_rounds(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [1]], [[0], [2]]], n_procs=3
+        )
+        bad = HyperSemiMatching(hg, np.array([0, 2]))
+        rep = local_search(bad, max_rounds=0)
+        assert rep.moves == 0
+        assert rep.final_makespan == bad.makespan
+
+    def test_already_optimal_stops_immediately(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0]], [[1]]], n_procs=2
+        )
+        start = HyperSemiMatching(hg, np.array([0, 1]))
+        rep = local_search(start)
+        assert rep.moves == 0
+
+
+@given(task_hypergraphs(max_tasks=5, max_procs=4, weighted=True))
+@settings(max_examples=25, deadline=None)
+def test_local_search_stays_above_optimum(hg):
+    """Property: refinement keeps validity and never beats the optimum."""
+    opt = exhaustive_multiproc(hg).makespan
+    rep = local_search(sorted_greedy_hyp(hg))
+    assert rep.final_makespan + 1e-9 >= opt
+    assert rep.final_makespan <= rep.initial_makespan + 1e-9

@@ -1,0 +1,207 @@
+"""Tests for the HiLo / FewgManyg / MULTIPROC generators and weights."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphStructureError
+from repro.generators import (
+    apply_weights,
+    fewgmanyg_bipartite,
+    generate_multiproc,
+    hilo_bipartite,
+    random_weights,
+    related_weights,
+)
+from repro.generators.hilo import hilo_neighbor_lists
+
+
+class TestHiLo:
+    def test_deterministic(self):
+        a = hilo_bipartite(64, 32, 4, 3)
+        b = hilo_bipartite(64, 32, 4, 3)
+        assert np.array_equal(a.task_adj, b.task_adj)
+
+    def test_degree_bound(self):
+        g = hilo_bipartite(128, 64, 8, 5)
+        assert g.task_degrees().max() <= 2 * (5 + 1)
+        assert g.task_degrees().min() >= 1
+
+    def test_last_group_has_no_next_group(self):
+        lists = hilo_neighbor_lists(8, 8, 2, 1)
+        # tasks in the last group only reach the last processor group
+        last_group_tasks = lists[4:]
+        for nb in last_group_tasks:
+            assert all(u >= 4 for u in nb)
+
+    def test_neighbors_stay_in_adjacent_groups(self):
+        g_count = 4
+        p = 32
+        pg = p // g_count
+        lists = hilo_neighbor_lists(32, p, g_count, 10)
+        for v, nb in enumerate(lists):
+            j = v // 8  # 8 tasks per group
+            allowed = set(range(j * pg, min((j + 2) * pg, p)))
+            assert set(map(int, nb)) <= allowed
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError, match="g \\| p"):
+            hilo_neighbor_lists(8, 7, 2, 1)
+        with pytest.raises(ValueError):
+            hilo_neighbor_lists(8, 8, 0, 1)
+        with pytest.raises(ValueError):
+            hilo_neighbor_lists(8, 8, 2, -1)
+
+    def test_unique_matching_structure_square(self):
+        # |V1| == |V2| HiLo graphs admit a perfect matching (the property
+        # the paper cites them for)
+        from repro.algorithms import exact_singleproc_unit
+
+        g = hilo_bipartite(32, 32, 4, 3)
+        assert exact_singleproc_unit(g).optimal_makespan == 1
+
+
+class TestFewgManyg:
+    def test_reproducible_by_seed(self):
+        a = fewgmanyg_bipartite(100, 32, 4, 5, seed=9)
+        b = fewgmanyg_bipartite(100, 32, 4, 5, seed=9)
+        assert np.array_equal(a.task_adj, b.task_adj)
+        c = fewgmanyg_bipartite(100, 32, 4, 5, seed=10)
+        assert not np.array_equal(a.task_adj, c.task_adj)
+
+    def test_every_task_schedulable(self):
+        g = fewgmanyg_bipartite(200, 32, 8, 2, seed=0)
+        assert g.task_degrees().min() >= 1
+
+    def test_mean_degree_near_d(self):
+        g = fewgmanyg_bipartite(2000, 256, 8, 10, seed=1)
+        assert 8.5 <= g.task_degrees().mean() <= 11.0
+
+    def test_locality(self):
+        # neighbours live in the 3 adjacent groups (wrap-around)
+        n, p, gr = 64, 32, 8
+        pg = p // gr
+        g = fewgmanyg_bipartite(n, p, gr, 2, seed=2)
+        per_group = n // gr
+        for v in range(n):
+            j = v // per_group
+            allowed = {
+                (jj % gr) * pg + o
+                for jj in (j - 1, j, j + 1)
+                for o in range(pg)
+            }
+            assert set(g.task_neighbors(v).tolist()) <= allowed
+
+    def test_degree_capped_by_pool(self):
+        # tiny groups: degree cannot exceed the 3-group pool
+        g = fewgmanyg_bipartite(500, 16, 8, 10, seed=3)
+        assert g.task_degrees().max() <= 6
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            fewgmanyg_bipartite(10, 30, 4, 2)
+        with pytest.raises(ValueError):
+            fewgmanyg_bipartite(10, 32, 4, 0)
+
+
+class TestWeights:
+    def test_related_formula(self):
+        hg = generate_multiproc(64, 32, g=4, dv=3, dh=4, seed=0)
+        w = related_weights(hg)
+        s = hg.hedge_sizes()
+        lo, hi = s.min(), s.max()
+        assert np.array_equal(w, np.ceil(lo * hi / s - 1e-12))
+        # bigger configurations get smaller weights
+        order = np.argsort(s)
+        assert np.all(np.diff(w[order]) <= 0)
+
+    def test_related_weight_times_size_spread(self):
+        # w_h * s_h is within a factor ~s of constant: the "related" idea
+        hg = generate_multiproc(64, 32, g=4, dv=3, dh=4, seed=1)
+        w = related_weights(hg)
+        s = hg.hedge_sizes()
+        prod = w * s
+        assert prod.min() >= (s.min() * s.max())
+
+    def test_random_weights_range_and_seed(self):
+        hg = generate_multiproc(64, 32, g=4, dv=3, dh=4, seed=0)
+        w1 = random_weights(hg, low=1, high=10, seed=5)
+        w2 = random_weights(hg, low=1, high=10, seed=5)
+        assert np.array_equal(w1, w2)
+        assert w1.min() >= 1 and w1.max() <= 10
+        with pytest.raises(ValueError):
+            random_weights(hg, low=5, high=1)
+
+    def test_apply_weights_schemes(self):
+        hg = generate_multiproc(64, 32, g=4, dv=3, dh=4, seed=0)
+        assert apply_weights(hg, "unit").is_unit
+        assert not apply_weights(hg, "related").is_unit
+        assert not apply_weights(hg, "random", seed=0).is_unit
+        with pytest.raises(ValueError, match="unknown weight scheme"):
+            apply_weights(hg, "gaussian")
+
+
+class TestGenerateMultiproc:
+    def test_shapes(self):
+        hg = generate_multiproc(100, 32, g=4, dv=3, dh=4, seed=0)
+        hg.validate()
+        assert hg.n_tasks == 100
+        assert hg.n_procs == 32
+        # |N| ~ n * dv
+        assert 0.7 * 300 <= hg.n_hedges <= 1.3 * 300
+
+    def test_every_task_covered(self):
+        hg = generate_multiproc(100, 32, g=4, dv=1, dh=2, seed=0)
+        assert hg.task_degrees().min() >= 1
+
+    def test_hilo_family(self):
+        hg = generate_multiproc(
+            100, 32, family="hilo", g=4, dv=3, dh=4, seed=0
+        )
+        hg.validate()
+        assert hg.hedge_sizes().max() <= 2 * (4 + 1)
+
+    def test_seeded_reproducibility(self):
+        a = generate_multiproc(50, 32, g=4, seed=12)
+        b = generate_multiproc(50, 32, g=4, seed=12)
+        assert np.array_equal(a.hedge_procs, b.hedge_procs)
+        assert np.array_equal(a.hedge_task, b.hedge_task)
+
+    def test_bad_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            generate_multiproc(10, 8, family="erdos", g=2)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            generate_multiproc(0, 8, g=2)
+        with pytest.raises(ValueError):
+            generate_multiproc(10, 8, g=2, dv=0)
+
+    @pytest.mark.parametrize("scheme", ["unit", "related", "random"])
+    def test_weight_scheme_passthrough(self, scheme):
+        hg = generate_multiproc(
+            50, 32, g=4, dv=2, dh=3, weights=scheme, seed=3
+        )
+        hg.validate()
+        if scheme == "unit":
+            assert hg.is_unit
+        else:
+            assert not hg.is_unit
+
+
+class TestTable1Statistics:
+    """Sampled statistics must land near the paper's Table I (±15%)."""
+
+    @pytest.mark.parametrize(
+        "family,g,paper_pins",
+        [
+            ("fewgmanyg", 32, 61643),
+            ("hilo", 32, 99036),
+            ("hilo", 128, 25245),
+        ],
+    )
+    def test_small_rows(self, family, g, paper_pins):
+        hg = generate_multiproc(
+            1280, 256, family=family, g=g, dv=5, dh=10, seed=0
+        )
+        assert abs(hg.n_hedges - 6400) / 6400 < 0.10
+        assert abs(hg.total_pins - paper_pins) / paper_pins < 0.15

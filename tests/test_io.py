@@ -1,0 +1,101 @@
+"""Tests for JSON serialisation (repro.io)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import BipartiteGraph, GraphStructureError, TaskHypergraph
+from repro.core.semimatching import HyperSemiMatching, SemiMatching
+from repro.generators import generate_multiproc
+from repro.io import (
+    bipartite_from_dict,
+    bipartite_to_dict,
+    hypergraph_from_dict,
+    hypergraph_to_dict,
+    load_instance,
+    matching_to_dict,
+    save_instance,
+)
+
+
+class TestBipartiteRoundtrip:
+    def test_roundtrip(self):
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0, 2], [1]], n_procs=3, weights=[[2.0, 3.0], [4.0]]
+        )
+        g2 = bipartite_from_dict(bipartite_to_dict(g))
+        assert np.array_equal(g.task_ptr, g2.task_ptr)
+        assert np.array_equal(g.task_adj, g2.task_adj)
+        assert np.array_equal(g.weights, g2.weights)
+
+    def test_json_compatible(self):
+        g = BipartiteGraph.from_neighbor_lists([[0]], n_procs=1)
+        text = json.dumps(bipartite_to_dict(g))
+        g2 = bipartite_from_dict(json.loads(text))
+        assert g2.n_tasks == 1
+
+    def test_kind_check(self):
+        with pytest.raises(GraphStructureError, match="bipartite"):
+            bipartite_from_dict({"kind": "hypergraph"})
+
+
+class TestHypergraphRoundtrip:
+    def test_roundtrip(self):
+        hg = generate_multiproc(
+            30, 16, g=2, dv=2, dh=3, weights="related", seed=0
+        )
+        hg2 = hypergraph_from_dict(hypergraph_to_dict(hg))
+        assert np.array_equal(hg.hedge_task, hg2.hedge_task)
+        assert np.array_equal(hg.hedge_ptr, hg2.hedge_ptr)
+        assert np.array_equal(hg.hedge_procs, hg2.hedge_procs)
+        assert np.array_equal(hg.hedge_w, hg2.hedge_w)
+
+    def test_kind_check(self):
+        with pytest.raises(GraphStructureError, match="hypergraph"):
+            hypergraph_from_dict({"kind": "bipartite"})
+
+
+class TestFileIO:
+    def test_save_load_bipartite(self, tmp_path):
+        g = BipartiteGraph.from_neighbor_lists([[0, 1]], n_procs=2)
+        path = tmp_path / "g.json"
+        save_instance(g, path)
+        g2 = load_instance(path)
+        assert isinstance(g2, BipartiteGraph)
+        assert g2.n_edges == 2
+
+    def test_save_load_hypergraph(self, tmp_path):
+        hg = TaskHypergraph.from_configurations([[[0], [1]]], n_procs=2)
+        path = tmp_path / "hg.json"
+        save_instance(hg, path)
+        hg2 = load_instance(path)
+        assert isinstance(hg2, TaskHypergraph)
+        assert hg2.n_hedges == 2
+
+    def test_save_rejects_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_instance("not a graph", tmp_path / "x.json")
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "mystery"}))
+        with pytest.raises(GraphStructureError, match="unknown instance"):
+            load_instance(path)
+
+
+class TestMatchingDict:
+    def test_semi_matching(self):
+        g = BipartiteGraph.from_neighbor_lists([[0, 1]], n_procs=2)
+        sm = SemiMatching(g, np.array([1]))
+        d = matching_to_dict(sm)
+        assert d["kind"] == "semi-matching"
+        assert d["edge_of_task"] == [1]
+        assert d["makespan"] == 1.0
+
+    def test_hyper_semi_matching(self):
+        hg = TaskHypergraph.from_configurations([[[0], [1]]], n_procs=2)
+        m = HyperSemiMatching(hg, np.array([0]))
+        d = matching_to_dict(m)
+        assert d["kind"] == "hyper-semi-matching"
+        assert d["hedge_of_task"] == [0]

@@ -1,0 +1,88 @@
+"""Tests for the Karp-Sipser matching initialiser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import karp_sipser_matching, kuhn_matching
+from repro.matching.base import normalize_capacity
+
+from test_matching_engines import csr_from_lists
+
+
+class TestKarpSipser:
+    def test_simple_perfect(self):
+        nl, nr, ptr, adj = csr_from_lists([[0, 1], [1, 2], [2, 0]], 3)
+        res = karp_sipser_matching(nl, nr, ptr, adj)
+        res.validate(nl, ptr, adj, normalize_capacity(nr, None))
+        assert res.cardinality == 3
+
+    def test_degree_one_rule_is_exact_on_paths(self):
+        # a path T0-P0-T1-P1-T2: degree-one moves alone solve it
+        nl, nr, ptr, adj = csr_from_lists([[0], [0, 1], [1]], 2)
+        res = karp_sipser_matching(nl, nr, ptr, adj)
+        # maximum matching has cardinality 2 and KS is optimal on forests
+        assert res.cardinality == 2
+        assert res.match_of_left[0] == 0
+        assert res.match_of_left[2] == 1
+        assert res.match_of_left[1] == -1
+
+    def test_capacities(self):
+        nl, nr, ptr, adj = csr_from_lists([[0], [0], [0]], 1)
+        res = karp_sipser_matching(nl, nr, ptr, adj, cap=2)
+        assert res.cardinality == 2
+        assert res.use_of_right.tolist() == [2]
+
+    def test_isolated_left(self):
+        nl, nr, ptr, adj = csr_from_lists([[], [0]], 1)
+        res = karp_sipser_matching(nl, nr, ptr, adj)
+        assert res.match_of_left[0] == -1
+        assert res.cardinality == 1
+
+    def test_zero_capacity(self):
+        nl, nr, ptr, adj = csr_from_lists([[0]], 1)
+        res = karp_sipser_matching(nl, nr, ptr, adj, cap=0)
+        assert res.cardinality == 0
+
+    def test_maximality(self):
+        # the result is always maximal: no left vertex remains that could
+        # still be matched to residual capacity
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            nl = int(rng.integers(1, 14))
+            nr = int(rng.integers(1, 10))
+            deg = rng.integers(0, nr + 1, size=nl)
+            nbrs = [
+                rng.choice(nr, size=d, replace=False).tolist() for d in deg
+            ]
+            nl, nr, ptr, adj = csr_from_lists(nbrs, nr)
+            cap = rng.integers(1, 3, size=nr)
+            res = karp_sipser_matching(nl, nr, ptr, adj, cap)
+            res.validate(nl, ptr, adj, normalize_capacity(nr, cap))
+            for v in range(nl):
+                if res.match_of_left[v] < 0:
+                    for k in range(ptr[v], ptr[v + 1]):
+                        u = int(adj[k])
+                        assert res.use_of_right[u] >= cap[u], (
+                            f"non-maximal: left {v} could take right {u}"
+                        )
+
+
+@given(
+    data=st.lists(
+        st.lists(st.integers(0, 5), max_size=6, unique=True),
+        min_size=1,
+        max_size=10,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_cardinality_close_to_maximum(data):
+    """Property: KS is feasible, maximal, and within the trivial 1/2
+    bound of the maximum (maximal matchings are 1/2-approximate)."""
+    nl, nr, ptr, adj = csr_from_lists(data, 6)
+    ks = karp_sipser_matching(nl, nr, ptr, adj)
+    ks.validate(nl, ptr, adj, normalize_capacity(nr, None))
+    opt = kuhn_matching(nl, nr, ptr, adj).cardinality
+    assert ks.cardinality >= (opt + 1) // 2
+    assert ks.cardinality <= opt

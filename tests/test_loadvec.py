@@ -1,0 +1,71 @@
+"""Tests for repro.core.loadvec — including the multiset-difference lemma
+that justifies the fast vector-greedy comparison."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loadvec import (
+    lex_compare_desc,
+    lex_compare_full,
+    lex_compare_multisets,
+    sorted_desc,
+)
+
+
+class TestSortedDesc:
+    def test_descending(self):
+        assert sorted_desc(np.array([1, 3, 2])).tolist() == [3, 2, 1]
+
+    def test_original_untouched(self):
+        a = np.array([1, 3, 2])
+        sorted_desc(a)
+        assert a.tolist() == [1, 3, 2]
+
+
+class TestLexCompare:
+    def test_equal(self):
+        assert lex_compare_desc(np.array([3, 1]), np.array([3, 1])) == 0
+
+    def test_smaller_max_wins(self):
+        # [2,2] is a better (more balanced) load vector than [3,1]
+        assert lex_compare_desc(np.array([2, 2]), np.array([3, 1])) == -1
+        assert lex_compare_desc(np.array([3, 1]), np.array([2, 2])) == 1
+
+    def test_tie_broken_at_second_position(self):
+        assert lex_compare_desc(np.array([3, 1]), np.array([3, 2])) == -1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            lex_compare_desc(np.array([1]), np.array([1, 2]))
+
+    def test_multisets_sorts_first(self):
+        # unsorted inputs are fine for the multiset comparison
+        assert lex_compare_multisets(np.array([1, 2]), np.array([2, 2])) == -1
+
+
+values = st.lists(st.integers(0, 6), min_size=0, max_size=6)
+
+
+@given(x=values, y=values, c=values)
+@settings(max_examples=300, deadline=None)
+def test_multiset_difference_lemma(x, y, c):
+    """The lemma behind the fast vector-greedy comparison: adding a common
+    multiset C to both sides never changes the descending-lex order."""
+    if len(x) != len(y):
+        x, y = x[: min(len(x), len(y))], y[: min(len(x), len(y))]
+    direct = lex_compare_multisets(np.array(x), np.array(y))
+    joined = lex_compare_full(
+        np.array(x + c, dtype=float), np.array(y + c, dtype=float)
+    )
+    assert direct == joined
+
+
+@given(x=values)
+@settings(max_examples=50, deadline=None)
+def test_compare_is_reflexive_and_antisymmetric(x):
+    a = np.array(x, dtype=float)
+    assert lex_compare_multisets(a, a) == 0
+    b = np.array(sorted(x), dtype=float)
+    assert lex_compare_multisets(a, b) == 0  # multiset order ignores order

@@ -1,0 +1,118 @@
+"""Tests for repro.algorithms.lower_bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    averaged_work_bound,
+    averaged_work_bound_bipartite,
+    combined_bound,
+    critical_task_bound,
+    exhaustive_multiproc,
+    lp_relaxation_bound,
+)
+from repro.core import BipartiteGraph, SolverError, TaskHypergraph
+
+from conftest import task_hypergraphs
+
+
+class TestAveragedWork:
+    def test_hand_computed(self):
+        # T0: best work min(2*1, 1*2) = 2; T1: min(3*2)=6 -> sum 8 over 2
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [0, 1]], [[0, 1]]],
+            n_procs=2,
+            weights=[[2.0, 1.0], [3.0]],
+        )
+        assert averaged_work_bound(hg) == 4.0
+
+    def test_rounding_for_integral_weights(self):
+        # total cheapest work 3 over 2 procs -> 1.5, rounded up to 2
+        hg = TaskHypergraph.from_configurations(
+            [[[0]], [[1]], [[0]]], n_procs=2
+        )
+        assert averaged_work_bound(hg) == 2.0
+        assert averaged_work_bound(hg, integral=False) == 1.5
+
+    def test_fractional_weights_not_rounded(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0]]], n_procs=2, weights=[[0.5]]
+        )
+        assert averaged_work_bound(hg) == 0.25
+
+    def test_no_processors(self):
+        hg = TaskHypergraph.from_hyperedges(0, 0, [], [])
+        with pytest.raises(SolverError):
+            averaged_work_bound(hg)
+
+    def test_paper_fig2_instance(self, fig2_hypergraph):
+        # cheapest works: T1 min(1, 2)=1, T2 min(2,1)=1, T3=1, T4=1 -> 4/3
+        assert averaged_work_bound(fig2_hypergraph, integral=False) == (
+            pytest.approx(4 / 3)
+        )
+        assert averaged_work_bound(fig2_hypergraph) == 2.0
+
+
+class TestCriticalTask:
+    def test_basic(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [1]], [[0]]], n_procs=2, weights=[[7.0, 5.0], [2.0]]
+        )
+        assert critical_task_bound(hg) == 5.0
+
+    def test_combined_takes_max(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [1]], [[0]]], n_procs=2, weights=[[7.0, 5.0], [2.0]]
+        )
+        assert combined_bound(hg) == max(
+            averaged_work_bound(hg), critical_task_bound(hg)
+        )
+
+
+class TestBipartiteBound:
+    def test_matches_lifted_hypergraph(self):
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0, 1], [0]], n_procs=2, weights=[[4.0, 2.0], [3.0]]
+        )
+        lifted = TaskHypergraph.from_bipartite(g)
+        assert averaged_work_bound_bipartite(g) == averaged_work_bound(lifted)
+
+
+class TestLPBound:
+    def test_dominates_averaged_work(self, small_weighted_hypergraph):
+        hg = small_weighted_hypergraph
+        lp = lp_relaxation_bound(hg)
+        assert lp >= averaged_work_bound(hg, integral=False) - 1e-9
+
+    def test_below_optimum(self, small_weighted_hypergraph):
+        hg = small_weighted_hypergraph
+        lp = lp_relaxation_bound(hg)
+        opt = exhaustive_multiproc(hg).makespan
+        assert lp <= opt + 1e-9
+
+    def test_tight_on_forced_instance(self):
+        # single task with single configuration: LP = exact weight
+        hg = TaskHypergraph.from_configurations(
+            [[[0, 1]]], n_procs=2, weights=[[3.0]]
+        )
+        assert lp_relaxation_bound(hg) == pytest.approx(3.0)
+
+    def test_size_guard(self, fig2_hypergraph):
+        with pytest.raises(SolverError, match="max_hedges"):
+            lp_relaxation_bound(fig2_hypergraph, max_hedges=2)
+
+
+@given(task_hypergraphs(max_tasks=5, max_procs=4, weighted=True))
+@settings(max_examples=25, deadline=None)
+def test_bound_sandwich(hg):
+    """Property: averaged-work <= LP <= optimum <= total work, and the
+    critical-task bound is also below the optimum."""
+    opt = exhaustive_multiproc(hg).makespan
+    aw = averaged_work_bound(hg, integral=False)
+    ct = critical_task_bound(hg)
+    lp = lp_relaxation_bound(hg)
+    assert aw <= lp + 1e-9
+    assert lp <= opt + 1e-9
+    assert ct <= opt + 1e-9
+    assert combined_bound(hg) <= opt + 1e-9

@@ -1,0 +1,183 @@
+"""Tests for the repro.matching engines.
+
+Every engine must (a) return a structurally feasible capacitated matching
+and (b) reach maximum cardinality.  Kuhn's algorithm is the reference: its
+correctness follows line-by-line from Berge's theorem, and the others are
+checked against it on randomised instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import (
+    ENGINES,
+    get_engine,
+    hopcroft_karp_matching,
+    kuhn_matching,
+    normalize_capacity,
+    push_relabel_matching,
+    scipy_matching,
+)
+
+ALL_ENGINES = sorted(ENGINES)
+
+
+def csr_from_lists(nbrs, n_right):
+    deg = np.array([len(x) for x in nbrs], dtype=np.int64)
+    ptr = np.zeros(len(nbrs) + 1, dtype=np.int64)
+    np.cumsum(deg, out=ptr[1:])
+    adj = np.array(
+        [u for x in nbrs for u in x] or [], dtype=np.int64
+    )
+    return len(nbrs), n_right, ptr, adj
+
+
+class TestInterface:
+    def test_get_engine_known(self):
+        assert get_engine("kuhn") is kuhn_matching
+
+    def test_get_engine_unknown(self):
+        with pytest.raises(KeyError, match="unknown matching engine"):
+            get_engine("simplex")
+
+    def test_normalize_capacity_scalar(self):
+        assert normalize_capacity(3, 2).tolist() == [2, 2, 2]
+
+    def test_normalize_capacity_default_ones(self):
+        assert normalize_capacity(2, None).tolist() == [1, 1]
+
+    def test_normalize_capacity_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_capacity(2, -1)
+        with pytest.raises(ValueError):
+            normalize_capacity(2, np.array([1, -1]))
+
+    def test_normalize_capacity_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            normalize_capacity(2, np.array([1, 1, 1]))
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+class TestPerEngine:
+    def test_perfect_matching_on_cycle(self, engine):
+        # 3 left, 3 right, each left connected to two rights in a ring
+        nl, nr, ptr, adj = csr_from_lists([[0, 1], [1, 2], [2, 0]], 3)
+        res = ENGINES[engine](nl, nr, ptr, adj)
+        assert res.cardinality == 3
+        assert res.is_left_perfect()
+        res.validate(nl, ptr, adj, normalize_capacity(nr, None))
+
+    def test_deficient_graph(self, engine):
+        # two left vertices fight over one right vertex
+        nl, nr, ptr, adj = csr_from_lists([[0], [0]], 1)
+        res = ENGINES[engine](nl, nr, ptr, adj)
+        assert res.cardinality == 1
+        assert res.use_of_right.tolist() == [1]
+
+    def test_capacity_two_absorbs_both(self, engine):
+        nl, nr, ptr, adj = csr_from_lists([[0], [0]], 1)
+        res = ENGINES[engine](nl, nr, ptr, adj, cap=2)
+        assert res.cardinality == 2
+        assert res.use_of_right.tolist() == [2]
+
+    def test_zero_capacity_blocks(self, engine):
+        nl, nr, ptr, adj = csr_from_lists([[0]], 1)
+        res = ENGINES[engine](nl, nr, ptr, adj, cap=0)
+        assert res.cardinality == 0
+
+    def test_isolated_left_vertex(self, engine):
+        nl, nr, ptr, adj = csr_from_lists([[], [0]], 1)
+        res = ENGINES[engine](nl, nr, ptr, adj)
+        assert res.match_of_left[0] == -1
+        assert res.cardinality == 1
+
+    def test_empty_graph(self, engine):
+        nl, nr, ptr, adj = csr_from_lists([], 0)
+        res = ENGINES[engine](nl, nr, ptr, adj)
+        assert res.cardinality == 0
+
+    def test_augmenting_path_needed(self, engine):
+        # greedy init matches L0->R0; L1 only likes R0, forcing a steal
+        nl, nr, ptr, adj = csr_from_lists([[0, 1], [0]], 2)
+        res = ENGINES[engine](nl, nr, ptr, adj)
+        assert res.cardinality == 2
+        assert res.match_of_left[1] == 0
+        assert res.match_of_left[0] == 1
+
+    def test_long_augmenting_chain(self, engine):
+        # chain that requires rematching down k levels
+        k = 8
+        nbrs = [[i, i + 1] for i in range(k)] + [[0]]
+        nl, nr, ptr, adj = csr_from_lists(nbrs, k + 1)
+        res = ENGINES[engine](nl, nr, ptr, adj)
+        assert res.cardinality == k + 1
+
+    def test_no_greedy_init(self, engine):
+        nl, nr, ptr, adj = csr_from_lists([[0, 1], [0]], 2)
+        res = ENGINES[engine](nl, nr, ptr, adj, greedy_init=False)
+        assert res.cardinality == 2
+
+
+def _random_instance(rng):
+    nl = int(rng.integers(1, 16))
+    nr = int(rng.integers(1, 12))
+    deg = rng.integers(0, nr + 1, size=nl)
+    nbrs = [rng.choice(nr, size=d, replace=False).tolist() for d in deg]
+    return csr_from_lists(nbrs, nr)
+
+
+@pytest.mark.parametrize("engine", [e for e in ALL_ENGINES if e != "kuhn"])
+def test_cardinality_matches_kuhn_randomised(engine):
+    """All engines reach Kuhn's (maximum) cardinality, unit and capacitated."""
+    rng = np.random.default_rng(7)
+    for trial in range(120):
+        nl, nr, ptr, adj = _random_instance(rng)
+        cap = rng.integers(1, 4, size=nr) if trial % 2 else None
+        ref = kuhn_matching(nl, nr, ptr, adj, cap)
+        res = ENGINES[engine](nl, nr, ptr, adj, cap)
+        res.validate(nl, ptr, adj, normalize_capacity(nr, cap))
+        assert res.cardinality == ref.cardinality, (engine, trial)
+
+
+@given(
+    data=st.lists(
+        st.lists(st.integers(0, 5), max_size=6, unique=True),
+        min_size=1,
+        max_size=10,
+    ),
+    capv=st.one_of(st.none(), st.integers(1, 3)),
+)
+@settings(max_examples=80, deadline=None)
+def test_engines_agree_property(data, capv):
+    """Property: all four engines report one cardinality, and scipy's
+    (independent C implementation) validates the pure-Python ones."""
+    nl, nr, ptr, adj = csr_from_lists(data, 6)
+    cards = set()
+    for engine in ALL_ENGINES:
+        res = ENGINES[engine](nl, nr, ptr, adj, capv)
+        res.validate(nl, ptr, adj, normalize_capacity(nr, capv))
+        cards.add(res.cardinality)
+    assert len(cards) == 1
+
+
+def test_scipy_replication_equivalence():
+    """Capacity-D scipy matching equals unit matching on the replicated
+    graph (the construction the paper describes)."""
+    rng = np.random.default_rng(3)
+    for _ in range(30):
+        nl, nr, ptr, adj = _random_instance(rng)
+        d = int(rng.integers(1, 4))
+        res = scipy_matching(nl, nr, ptr, adj, cap=d)
+        # manual replication
+        nbrs_rep = []
+        for v in range(nl):
+            opts = []
+            for k in range(ptr[v], ptr[v + 1]):
+                u = int(adj[k])
+                opts.extend(u * d + c for c in range(d))
+            nbrs_rep.append(opts)
+        nl2, nr2, ptr2, adj2 = csr_from_lists(nbrs_rep, nr * d)
+        ref = kuhn_matching(nl2, nr2, ptr2, adj2)
+        assert res.cardinality == ref.cardinality

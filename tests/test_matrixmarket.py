@@ -1,0 +1,88 @@
+"""Tests for Matrix Market interop (repro.io.matrixmarket)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BipartiteGraph, GraphStructureError
+from repro.generators import generate_multiproc, fewgmanyg_bipartite
+from repro.io.matrixmarket import (
+    read_bipartite_mm,
+    read_hypergraph_mm,
+    write_bipartite_mm,
+    write_hypergraph_mm,
+)
+
+
+class TestBipartiteMM:
+    def test_roundtrip(self, tmp_path):
+        g = fewgmanyg_bipartite(40, 16, 4, 3, seed=0).with_weights(
+            np.arange(1, 1 + fewgmanyg_bipartite(40, 16, 4, 3, seed=0).n_edges,
+                      dtype=float)
+        )
+        path = tmp_path / "g.mtx"
+        write_bipartite_mm(g, path)
+        g2 = read_bipartite_mm(path)
+        assert g2.n_tasks == g.n_tasks
+        assert g2.n_procs == g.n_procs
+        # compare as edge sets (CSR order may differ)
+        def edges(gr):
+            owner = np.repeat(
+                np.arange(gr.n_tasks), np.diff(gr.task_ptr)
+            )
+            return sorted(
+                zip(owner.tolist(), gr.task_adj.tolist(),
+                    gr.weights.tolist())
+            )
+        assert edges(g) == edges(g2)
+
+    def test_unit_weights_survive(self, tmp_path):
+        g = BipartiteGraph.from_neighbor_lists([[0, 1], [1]], n_procs=2)
+        path = tmp_path / "unit.mtx"
+        write_bipartite_mm(g, path)
+        assert read_bipartite_mm(path).is_unit
+
+
+class TestHypergraphMM:
+    def test_roundtrip(self, tmp_path):
+        hg = generate_multiproc(
+            30, 16, g=2, dv=2, dh=3, weights="related", seed=1
+        )
+        path = tmp_path / "h.mtx"
+        write_hypergraph_mm(hg, path)
+        hg2 = read_hypergraph_mm(path)
+        assert hg2.n_tasks == hg.n_tasks
+        assert hg2.n_hedges == hg.n_hedges
+        assert np.array_equal(hg2.hedge_task, hg.hedge_task)
+        assert np.allclose(hg2.hedge_w, hg.hedge_w)
+        # pin sets equal as sets per hyperedge
+        for h in range(hg.n_hedges):
+            assert set(hg2.hedge_proc_set(h).tolist()) == set(
+                hg.hedge_proc_set(h).tolist()
+            )
+
+    def test_missing_companion(self, tmp_path):
+        hg = generate_multiproc(10, 8, g=2, dv=1, dh=2, seed=0)
+        path = tmp_path / "h.mtx"
+        write_hypergraph_mm(hg, path)
+        (tmp_path / "h.mtx.tasks").unlink()
+        with pytest.raises(GraphStructureError, match="companion"):
+            read_hypergraph_mm(path)
+
+    def test_malformed_companion(self, tmp_path):
+        hg = generate_multiproc(10, 8, g=2, dv=1, dh=2, seed=0)
+        path = tmp_path / "h.mtx"
+        write_hypergraph_mm(hg, path)
+        (tmp_path / "h.mtx.tasks").write_text("garbage\n")
+        with pytest.raises(GraphStructureError):
+            read_hypergraph_mm(path)
+
+    def test_solver_runs_on_reloaded_instance(self, tmp_path):
+        from repro.algorithms import sorted_greedy_hyp
+
+        hg = generate_multiproc(20, 8, g=2, dv=2, dh=2, seed=2)
+        path = tmp_path / "h.mtx"
+        write_hypergraph_mm(hg, path)
+        hg2 = read_hypergraph_mm(path)
+        assert sorted_greedy_hyp(hg2).makespan == pytest.approx(
+            sorted_greedy_hyp(hg).makespan
+        )

@@ -1,0 +1,92 @@
+"""Tests for networkx interop (round-trips and star expansion)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BipartiteGraph, GraphStructureError
+
+from conftest import bipartite_graphs
+
+
+class TestBipartiteRoundtrip:
+    def test_roundtrip_weighted(self):
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0, 2], [1]], n_procs=3, weights=[[2.0, 3.0], [4.0]]
+        )
+        g2 = BipartiteGraph.from_networkx(g.to_networkx())
+        assert g2.n_tasks == g.n_tasks
+        assert g2.n_procs == g.n_procs
+
+        def edges(gr):
+            owner = np.repeat(
+                np.arange(gr.n_tasks), np.diff(gr.task_ptr)
+            )
+            return sorted(
+                zip(owner.tolist(), gr.task_adj.tolist(),
+                    gr.weights.tolist())
+            )
+
+        assert edges(g) == edges(g2)
+
+    def test_default_unit_weights(self):
+        g = nx.Graph()
+        g.add_edge(("T", 0), ("P", 0))  # no weight attribute
+        b = BipartiteGraph.from_networkx(g)
+        assert b.is_unit
+
+    def test_rejects_foreign_nodes(self):
+        g = nx.Graph()
+        g.add_node(("X", 0))
+        with pytest.raises(GraphStructureError, match="unexpected node"):
+            BipartiteGraph.from_networkx(g)
+
+    def test_rejects_task_task_edge(self):
+        g = nx.Graph()
+        g.add_edge(("T", 0), ("T", 1))
+        with pytest.raises(GraphStructureError, match="does not join"):
+            BipartiteGraph.from_networkx(g)
+
+
+class TestHypergraphStarExpansion:
+    def test_structure(self, fig2_hypergraph):
+        g = fig2_hypergraph.to_networkx()
+        kinds = nx.get_node_attributes(g, "kind")
+        assert sum(1 for k in kinds.values() if k == "task") == 4
+        assert sum(1 for k in kinds.values() if k == "hyperedge") == 6
+        assert sum(1 for k in kinds.values() if k == "processor") == 3
+        # hyperedge degree = 1 task + |pins|
+        for h in range(fig2_hypergraph.n_hedges):
+            deg = g.degree(("H", h))
+            assert deg == 1 + len(fig2_hypergraph.hedge_proc_set(h))
+
+    def test_weights_carried(self, small_weighted_hypergraph):
+        g = small_weighted_hypergraph.to_networkx()
+        for h in range(small_weighted_hypergraph.n_hedges):
+            assert g.nodes[("H", h)]["weight"] == pytest.approx(
+                float(small_weighted_hypergraph.hedge_w[h])
+            )
+
+    def test_connectivity_matches_feasibility(self, fig2_hypergraph):
+        # every task node reaches some processor through a hyperedge
+        g = fig2_hypergraph.to_networkx()
+        for i in range(fig2_hypergraph.n_tasks):
+            lengths = nx.single_source_shortest_path_length(
+                g, ("T", i), cutoff=2
+            )
+            assert any(n[0] == "P" for n in lengths)
+
+
+@given(bipartite_graphs(weighted=True))
+@settings(max_examples=30, deadline=None)
+def test_networkx_roundtrip_property(g):
+    """Property: to_networkx -> from_networkx preserves the edge multiset
+    (up to parallel-edge collapse, which the generators never produce)."""
+    g2 = BipartiteGraph.from_networkx(g.to_networkx())
+    assert g2.n_edges <= g.n_edges  # nx collapses parallel edges
+    assert g2.n_tasks == g.n_tasks
+    loads_equal = sorted(g.task_adj.tolist()) == sorted(
+        g2.task_adj.tolist()
+    )
+    assert loads_equal or g2.n_edges < g.n_edges

@@ -1,0 +1,167 @@
+"""Cross-module property-based invariants.
+
+These tie the whole library together: any instance the generators can
+produce must be handled by every algorithm, results must validate against
+the independent oracles, and the exact/bound relationships of the paper
+must hold throughout.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    HYPERGRAPH_ALGORITHMS,
+    averaged_work_bound,
+    combined_bound,
+    exact_singleproc_unit,
+    exhaustive_multiproc,
+    expected_greedy,
+    local_search,
+    sorted_greedy,
+)
+from repro.core import TaskHypergraph
+from repro.core.validation import (
+    assert_valid_hyper_semi_matching,
+    compute_loads_hypergraph,
+)
+from repro.generators import generate_multiproc
+
+from conftest import task_hypergraphs
+
+UNIQUE_HYP_ALGOS = ("SGH", "VGH", "EGH", "EVG")
+
+
+@given(task_hypergraphs(weighted=True))
+@settings(max_examples=40, deadline=None)
+def test_every_heuristic_returns_validated_matching(hg):
+    for name in UNIQUE_HYP_ALGOS:
+        m = HYPERGRAPH_ALGORITHMS[name](hg)
+        assert_valid_hyper_semi_matching(hg, m.hedge_of_task)
+        oracle = compute_loads_hypergraph(hg, m.hedge_of_task)
+        assert np.allclose(m.loads(), oracle)
+        assert m.makespan >= averaged_work_bound(hg, integral=False) - 1e-9
+
+
+@given(task_hypergraphs(max_tasks=5, max_procs=4, weighted=True))
+@settings(max_examples=20, deadline=None)
+def test_local_search_sandwich(hg):
+    """greedy >= local-search(greedy) >= optimum >= combined bound."""
+    opt = exhaustive_multiproc(hg).makespan
+    for name in ("SGH", "EGH"):
+        start = HYPERGRAPH_ALGORITHMS[name](hg)
+        refined = local_search(start)
+        assert start.makespan + 1e-9 >= refined.final_makespan
+        assert refined.final_makespan + 1e-9 >= opt
+    assert combined_bound(hg) <= opt + 1e-9
+
+
+@given(
+    n=st.integers(6, 40),
+    p=st.sampled_from([4, 8, 16]),
+    g=st.sampled_from([2, 4]),
+    dv=st.integers(1, 3),
+    dh=st.integers(1, 4),
+    scheme=st.sampled_from(["unit", "related", "random"]),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_generated_instances_always_solvable(n, p, g, dv, dh, scheme, seed):
+    """Any generator output feeds cleanly into any heuristic."""
+    hg = generate_multiproc(
+        n, p, g=g, dv=dv, dh=dh, weights=scheme, seed=seed
+    )
+    hg.validate()
+    lb = averaged_work_bound(hg)
+    for name in UNIQUE_HYP_ALGOS:
+        m = HYPERGRAPH_ALGORITHMS[name](hg)
+        assert m.makespan >= lb - 1e-9
+
+
+@given(
+    n=st.integers(2, 30),
+    p=st.integers(2, 8),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_exact_unit_consistency_on_random_graphs(n, p, seed):
+    """The exact algorithm's makespan is feasible and one less is not."""
+    from repro.algorithms import feasible_makespan
+
+    rng = np.random.default_rng(seed)
+    nbrs = [
+        rng.choice(p, size=int(rng.integers(1, p + 1)), replace=False)
+        for _ in range(n)
+    ]
+    from repro.core import BipartiteGraph
+
+    graph = BipartiteGraph.from_neighbor_lists(nbrs, n_procs=p)
+    rep = exact_singleproc_unit(graph)
+    d = rep.optimal_makespan
+    assert feasible_makespan(graph, d).is_left_perfect()
+    if d > 1:
+        assert not feasible_makespan(graph, d - 1).is_left_perfect()
+    # greedy heuristics are upper bounds for the optimum
+    assert sorted_greedy(graph).makespan >= d
+    assert expected_greedy(graph).makespan >= d
+
+
+@given(task_hypergraphs(weighted=False, max_tasks=6, max_procs=5))
+@settings(max_examples=20, deadline=None)
+def test_unit_weights_preserved_by_schemes(hg):
+    """unit() after with_weights round-trips, and related weights of a
+    uniform-size instance are uniform."""
+    assert hg.is_unit
+    w = np.full(hg.n_hedges, 3.0)
+    hg3 = hg.with_weights(w)
+    assert hg3.unit().is_unit
+    sizes = hg.hedge_sizes()
+    if len(set(sizes.tolist())) == 1:
+        from repro.generators import related_weights
+
+        rw = related_weights(hg)
+        assert len(set(rw.tolist())) == 1
+
+
+def test_x3c_equivalence_randomised():
+    """Theorem 1 round-trip on random planted instances: the reduction's
+    optimal makespan is 1 and a cover is extractable; destroying the
+    cover (dropping a planted triple's availability) raises it to >= 2
+    whenever no accidental cover exists."""
+    from repro.generators import (
+        cover_from_matching,
+        is_exact_cover,
+        planted_x3c,
+        x3c_to_multiproc,
+    )
+
+    for seed in range(8):
+        inst = planted_x3c(3, extra_triples=3, seed=seed)
+        hg = x3c_to_multiproc(inst)
+        m = exhaustive_multiproc(hg)
+        assert m.makespan == 1.0
+        assert is_exact_cover(inst, cover_from_matching(inst, m))
+
+
+def test_related_weights_make_expected_strategy_win_on_average():
+    """The paper's headline MULTIPROC finding (Table III): on related-
+    weight instances the expected strategies (EGH/EVG) beat the plain
+    ones (SGH) on average, and EVG is at least as good as EGH."""
+    from repro.experiments import run_instances
+    from repro.experiments.instances import InstanceSpec
+
+    specs = [
+        InstanceSpec(
+            name="T3-FG", family="fewgmanyg", g=8, n=640, p=128,
+            dv=5, dh=10, weights="related",
+        ),
+        InstanceSpec(
+            name="T3-HL", family="hilo", g=8, n=640, p=128,
+            dv=5, dh=10, weights="related",
+        ),
+    ]
+    res = run_instances(specs, n_seeds=3)
+    avg = res.average_quality()
+    assert avg["EGH"] <= avg["SGH"] + 0.02
+    assert avg["EVG"] <= avg["EGH"] + 0.02

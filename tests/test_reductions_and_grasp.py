@@ -1,0 +1,160 @@
+"""Tests for preprocessing reductions and the GRASP metaheuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    exhaustive_multiproc,
+    grasp,
+    preprocess,
+    randomized_greedy,
+    solve_reduced,
+    sorted_greedy_hyp,
+)
+from repro.core import InfeasibleError, TaskHypergraph
+from repro.core.validation import assert_valid_hyper_semi_matching
+
+from conftest import task_hypergraphs
+
+
+class TestPreprocess:
+    def test_forced_tasks_committed(self, fig2_hypergraph):
+        red = preprocess(fig2_hypergraph)
+        # T3 and T4 are pinned to P3: both are forced
+        assert set(np.flatnonzero(red.forced_hedge_of_task >= 0)) == {2, 3}
+        assert red.baseline.tolist() == [0.0, 0.0, 2.0]
+        assert red.kernel.n_tasks == 2
+
+    def test_lift_reconstructs_full_matching(self, fig2_hypergraph):
+        red = preprocess(fig2_hypergraph)
+        kernel_m = sorted_greedy_hyp(red.kernel)
+        full = red.lift(kernel_m)
+        assert_valid_hyper_semi_matching(
+            fig2_hypergraph, full.hedge_of_task
+        )
+
+    def test_domination(self):
+        # config B = {P0, P1} weight 5 is dominated by A = {P0} weight 3
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [0, 1]], [[1]]],
+            n_procs=2,
+            weights=[[3.0, 5.0], [1.0]],
+        )
+        red = preprocess(hg)
+        assert red.dropped_configurations == 1
+        # dropping the dominated config makes task 0 forced too
+        assert red.kernel is None
+        full = red.lift(None)
+        assert full.makespan == 3.0
+
+    def test_identical_configs_keep_one(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [0]]], n_procs=1, weights=[[2.0, 2.0]]
+        )
+        red = preprocess(hg)
+        assert red.dropped_configurations == 1
+        assert red.lift(None).makespan == 2.0
+
+    def test_superset_with_smaller_weight_not_dominated(self):
+        # {P0,P1} w=1 vs {P0} w=2: neither dominates (superset is lighter)
+        hg = TaskHypergraph.from_configurations(
+            [[[0, 1], [0]]], n_procs=2, weights=[[1.0, 2.0]]
+        )
+        red = preprocess(hg)
+        assert red.dropped_configurations == 0
+        assert red.kernel.n_hedges == 2
+
+    def test_all_free_instance(self):
+        hg = TaskHypergraph.from_configurations(
+            [[[0], [1]], [[0], [1]]], n_procs=2
+        )
+        red = preprocess(hg)
+        assert red.kernel.n_tasks == 2
+        assert red.baseline.sum() == 0
+        assert red.dropped_configurations == 0
+
+    def test_solve_reduced_end_to_end(self, small_weighted_hypergraph):
+        m = solve_reduced(small_weighted_hypergraph, sorted_greedy_hyp)
+        assert_valid_hyper_semi_matching(
+            small_weighted_hypergraph, m.hedge_of_task
+        )
+
+
+@given(task_hypergraphs(max_tasks=6, max_procs=5, weighted=True))
+@settings(max_examples=30, deadline=None)
+def test_reductions_preserve_optimum(hg):
+    """Property: kernelisation never changes the optimal makespan."""
+    red = preprocess(hg)
+    opt_original = exhaustive_multiproc(hg).makespan
+    if red.kernel is None:
+        assert red.lift(None).makespan == pytest.approx(opt_original)
+    else:
+        # optimum over kernel choices + baseline == original optimum;
+        # check by brute-forcing the kernel with baseline folded in
+        from itertools import product
+
+        best = np.inf
+        options = [
+            red.kernel.task_hedge_ids(i).tolist()
+            for i in range(red.kernel.n_tasks)
+        ]
+        for pick in product(*options):
+            loads = red.baseline.copy()
+            for h in pick:
+                loads[red.kernel.hedge_proc_set(int(h))] += (
+                    red.kernel.hedge_w[int(h)]
+                )
+            best = min(best, loads.max())
+        assert best == pytest.approx(opt_original)
+
+
+class TestGrasp:
+    def test_report_fields(self, small_weighted_hypergraph):
+        rep = grasp(small_weighted_hypergraph, iterations=4, seed=0)
+        assert len(rep.iteration_makespans) == 4
+        assert rep.best_makespan == min(rep.iteration_makespans)
+        assert rep.iteration_makespans[rep.best_iteration] == (
+            rep.best_makespan
+        )
+
+    def test_deterministic_given_seed(self, small_weighted_hypergraph):
+        a = grasp(small_weighted_hypergraph, iterations=3, seed=5)
+        b = grasp(small_weighted_hypergraph, iterations=3, seed=5)
+        assert np.array_equal(
+            a.matching.hedge_of_task, b.matching.hedge_of_task
+        )
+
+    def test_never_worse_than_sgh_plus_ls(self, small_weighted_hypergraph):
+        # iteration 0 is deterministic SGH + local search
+        from repro.algorithms import local_search
+
+        base = local_search(
+            sorted_greedy_hyp(small_weighted_hypergraph)
+        ).final_makespan
+        rep = grasp(small_weighted_hypergraph, iterations=5, seed=1)
+        assert rep.best_makespan <= base + 1e-9
+
+    def test_alpha_zero_is_deterministic_greedy(self, fig2_hypergraph):
+        m = randomized_greedy(fig2_hypergraph, alpha=0.0, seed=0)
+        ref = sorted_greedy_hyp(fig2_hypergraph)
+        assert m.makespan == ref.makespan
+
+    def test_validation(self, fig2_hypergraph):
+        with pytest.raises(ValueError):
+            grasp(fig2_hypergraph, iterations=0)
+        with pytest.raises(ValueError):
+            randomized_greedy(fig2_hypergraph, alpha=-1)
+        bad = TaskHypergraph.from_hyperedges(2, 2, [0], [[0]])
+        with pytest.raises(InfeasibleError):
+            randomized_greedy(bad)
+
+
+@given(task_hypergraphs(max_tasks=5, max_procs=4, weighted=True))
+@settings(max_examples=15, deadline=None)
+def test_grasp_sandwich(hg):
+    """Property: optimum <= GRASP <= single greedy construction."""
+    opt = exhaustive_multiproc(hg).makespan
+    rep = grasp(hg, iterations=3, seed=2)
+    assert rep.best_makespan + 1e-9 >= opt
+    assert rep.best_makespan <= sorted_greedy_hyp(hg).makespan + 1e-9

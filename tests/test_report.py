@@ -1,0 +1,60 @@
+"""Tests for the markdown report renderers."""
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    markdown_quality_table,
+    markdown_singleproc,
+    markdown_table1,
+    run_instances,
+    run_singleproc,
+)
+from repro.experiments.instances import InstanceSpec
+from repro.experiments.singleproc import SingleProcSpec
+
+
+def _result():
+    spec = InstanceSpec(
+        name="FG-5-1-MP", family="fewgmanyg", g=8, n=160, p=32, dv=2, dh=3
+    )
+    return run_instances([spec], n_seeds=2)
+
+
+class TestMarkdownQuality:
+    def test_structure(self):
+        text = markdown_quality_table(_result(), PAPER_TABLE2)
+        lines = text.splitlines()
+        assert lines[0].startswith("| Instance | LB | LB (paper) |")
+        assert lines[1].startswith("|---")
+        assert "FG-5-1-MP" in text
+        assert "**Average**" in text
+        assert "Average time (s):" in text
+        # paper value for FG-5-1-MP SGH is 1.43
+        assert "1.43" in text
+
+    def test_without_paper(self):
+        text = markdown_quality_table(_result())
+        assert "(paper)" not in text
+        assert "**Average**" in text
+
+
+class TestMarkdownTable1:
+    def test_structure(self):
+        text = markdown_table1(_result(), PAPER_TABLE1)
+        assert "|N| (paper)" in text
+        assert "6368" in text  # the paper's FG-5-1-MP row
+
+    def test_without_paper(self):
+        assert "(paper)" not in markdown_table1(_result())
+
+
+class TestMarkdownSingleproc:
+    def test_structure(self):
+        spec = SingleProcSpec(
+            name="TINY", family="fewgmanyg", g=4, n=64, p=16, d=2
+        )
+        res = run_singleproc([spec], n_seeds=2)
+        text = markdown_singleproc(res)
+        assert "| Instance | optimum |" in text
+        assert "basic-greedy" in text
+        assert "**Average**" in text

@@ -1,0 +1,153 @@
+"""Tests for repro.core.semimatching and repro.core.validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    BipartiteGraph,
+    HyperSemiMatching,
+    InvalidMatchingError,
+    SemiMatching,
+    TaskHypergraph,
+)
+from repro.core.validation import (
+    assert_valid_hyper_semi_matching,
+    assert_valid_semi_matching,
+    compute_loads_bipartite,
+    compute_loads_hypergraph,
+    makespan_bipartite,
+    makespan_hypergraph,
+)
+
+from conftest import task_hypergraphs
+
+
+@pytest.fixture
+def small_graph():
+    return BipartiteGraph.from_neighbor_lists(
+        [[0, 1], [0], [1]], n_procs=2, weights=[[2.0, 3.0], [4.0], [5.0]]
+    )
+
+
+class TestSemiMatching:
+    def test_loads_and_makespan(self, small_graph):
+        # task0 -> edge0 (P0, w2); task1 -> edge2 (P0, w4); task2 -> edge3
+        sm = SemiMatching(small_graph, np.array([0, 2, 3]))
+        assert sm.loads().tolist() == [6.0, 5.0]
+        assert sm.makespan == 6.0
+        assert sm.bottleneck_proc == 0
+        assert sm.proc_of_task.tolist() == [0, 0, 1]
+        assert sm.tasks_on_proc(0).tolist() == [0, 1]
+        assert "makespan=6" in sm.summary()
+
+    def test_rejects_foreign_edge(self, small_graph):
+        with pytest.raises(InvalidMatchingError, match="not\\s+incident"):
+            SemiMatching(small_graph, np.array([2, 2, 3]))
+
+    def test_rejects_out_of_range(self, small_graph):
+        with pytest.raises(InvalidMatchingError, match="out of range"):
+            SemiMatching(small_graph, np.array([0, 2, 99]))
+
+    def test_rejects_wrong_shape(self, small_graph):
+        with pytest.raises(InvalidMatchingError, match="one edge per task"):
+            SemiMatching(small_graph, np.array([0, 2]))
+
+    def test_from_proc_assignment(self, small_graph):
+        sm = SemiMatching.from_proc_assignment(small_graph, [1, 0, 1])
+        assert sm.proc_of_task.tolist() == [1, 0, 1]
+        assert sm.makespan == 8.0  # P1: 3 + 5
+
+    def test_from_proc_assignment_picks_lightest_parallel_edge(self):
+        g = BipartiteGraph.from_edges(
+            1, 1, [0, 0], [0, 0], [5.0, 2.0]
+        )  # two parallel edges, different weights
+        sm = SemiMatching.from_proc_assignment(g, [0])
+        assert sm.makespan == 2.0
+
+    def test_from_proc_assignment_rejects_ineligible(self, small_graph):
+        with pytest.raises(InvalidMatchingError, match="cannot run"):
+            SemiMatching.from_proc_assignment(small_graph, [1, 1, 1])
+
+    def test_empty(self):
+        g = BipartiteGraph.from_edges(0, 3, [], [])
+        sm = SemiMatching(g, np.empty(0, dtype=np.int64))
+        assert sm.makespan == 0.0
+
+
+class TestHyperSemiMatching:
+    def test_loads(self, fig2_hypergraph):
+        # choose: T1 -> {P2,P3} (h1), T2 -> {P1,P2} (h2), T3,T4 -> {P3}
+        m = HyperSemiMatching(fig2_hypergraph, np.array([1, 2, 4, 5]))
+        assert m.loads().tolist() == [1.0, 2.0, 3.0]
+        assert m.makespan == 3.0
+        assert m.alloc(0).tolist() == [1, 2]
+        assert m.quality(lower_bound=1.5) == 2.0
+        assert "makespan=3" in m.summary()
+
+    def test_rejects_foreign_hyperedge(self, fig2_hypergraph):
+        with pytest.raises(InvalidMatchingError, match="different task"):
+            HyperSemiMatching(fig2_hypergraph, np.array([0, 0, 4, 5]))
+
+    def test_rejects_out_of_range(self, fig2_hypergraph):
+        with pytest.raises(InvalidMatchingError, match="out of range"):
+            HyperSemiMatching(fig2_hypergraph, np.array([0, 2, 4, -1]))
+
+    def test_quality_requires_positive_bound(self, fig2_hypergraph):
+        m = HyperSemiMatching(fig2_hypergraph, np.array([0, 3, 4, 5]))
+        with pytest.raises(ValueError):
+            m.quality(0.0)
+
+
+class TestValidationOracles:
+    def test_bipartite_oracle_matches(self, small_graph):
+        sm = SemiMatching(small_graph, np.array([1, 2, 3]))
+        w_used = small_graph.weights[sm.edge_of_task]
+        loads = compute_loads_bipartite(
+            small_graph, sm.proc_of_task, w_used
+        )
+        assert np.array_equal(loads, sm.loads())
+        assert makespan_bipartite(
+            small_graph, sm.proc_of_task, w_used
+        ) == sm.makespan
+        assert_valid_semi_matching(small_graph, sm.edge_of_task)
+
+    def test_bipartite_oracle_rejects(self, small_graph):
+        with pytest.raises(InvalidMatchingError):
+            assert_valid_semi_matching(small_graph, np.array([2, 2, 3]))
+        with pytest.raises(InvalidMatchingError):
+            assert_valid_semi_matching(small_graph, np.array([0, 2]))
+
+    def test_hypergraph_oracle_matches(self, fig2_hypergraph):
+        m = HyperSemiMatching(fig2_hypergraph, np.array([1, 2, 4, 5]))
+        loads = compute_loads_hypergraph(
+            fig2_hypergraph, m.hedge_of_task
+        )
+        assert np.array_equal(loads, m.loads())
+        assert makespan_hypergraph(
+            fig2_hypergraph, m.hedge_of_task
+        ) == m.makespan
+        assert_valid_hyper_semi_matching(fig2_hypergraph, m.hedge_of_task)
+
+    def test_hypergraph_oracle_rejects(self, fig2_hypergraph):
+        with pytest.raises(InvalidMatchingError):
+            assert_valid_hyper_semi_matching(
+                fig2_hypergraph, np.array([0, 0, 4, 5])
+            )
+        with pytest.raises(InvalidMatchingError):
+            assert_valid_hyper_semi_matching(
+                fig2_hypergraph, np.array([0, 2, 4, 99])
+            )
+
+
+@given(task_hypergraphs())
+@settings(max_examples=40, deadline=None)
+def test_first_config_assignment_always_valid(hg):
+    """Property: picking every task's first configuration is a valid
+    semi-matching whose loads match the independent oracle."""
+    assign = hg.task_ptr[:-1].copy()
+    first = hg.task_hedges[assign]
+    m = HyperSemiMatching(hg, first)
+    oracle = compute_loads_hypergraph(hg, first)
+    assert np.allclose(m.loads(), oracle)
+    assert m.makespan == pytest.approx(oracle.max())

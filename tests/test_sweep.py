@@ -1,0 +1,60 @@
+"""Tests for the (dv, dh) ranking sweep."""
+
+import pytest
+
+from repro.experiments import ranking_sweep
+from repro.experiments.instances import InstanceSpec
+
+
+def _base_specs():
+    return [
+        InstanceSpec(
+            name="SWEEP-FG", family="fewgmanyg", g=8, n=160, p=32,
+            weights="related",
+        )
+    ]
+
+
+class TestRankingSweep:
+    def test_grid_coverage(self):
+        sweep = ranking_sweep(
+            _base_specs(), dv_values=(2, 3), dh_values=(2, 3), n_seeds=2
+        )
+        assert set(sweep.rankings) == {(2, 2), (2, 3), (3, 2), (3, 3)}
+        for order in sweep.rankings.values():
+            assert set(order) == {"SGH", "VGH", "EGH", "EVG"}
+
+    def test_averages_recorded(self):
+        sweep = ranking_sweep(
+            _base_specs(), dv_values=(2,), dh_values=(3,), n_seeds=2
+        )
+        avg = sweep.average_quality[(2, 3)]
+        assert all(v >= 1.0 for v in avg.values())
+
+    def test_describe(self):
+        sweep = ranking_sweep(
+            _base_specs(), dv_values=(2,), dh_values=(2,), n_seeds=1
+        )
+        text = sweep.describe()
+        assert "dv=2 dh=2:" in text
+        assert "ranking consistent" in text
+
+    def test_consistency_flag(self):
+        sweep = ranking_sweep(
+            _base_specs(), dv_values=(2,), dh_values=(2,), n_seeds=1
+        )
+        assert sweep.consistent  # single cell is trivially consistent
+
+    @pytest.mark.slow
+    def test_paper_robustness_claim_mini(self):
+        """The paper's §V-A2 claim at mini scale: EGH/EVG lead SGH on
+        related weights for every (dv, dh) combination."""
+        sweep = ranking_sweep(
+            _base_specs(),
+            dv_values=(2, 5),
+            dh_values=(5, 10),
+            n_seeds=2,
+            rank_tolerance=0.01,
+        )
+        for (dv, dh), avg in sweep.average_quality.items():
+            assert avg["EGH"] <= avg["SGH"] + 0.02, (dv, dh, avg)

@@ -1,0 +1,68 @@
+"""Tests for repro._util."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro._util import Timer, as_rng, check_1d_int, stable_argsort
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_rng(42).integers(0, 1000, size=10)
+        b = as_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9)
+        b = as_rng(2).integers(0, 10**9)
+        assert a != b
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        assert first > 0
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_pause_excludes_time(self):
+        t = Timer()
+        with t:
+            with t.pause():
+                time.sleep(0.05)
+        assert t.elapsed < 0.04
+
+
+class TestCheck1dInt:
+    def test_accepts_list(self):
+        out = check_1d_int([1, 2, 3], "x")
+        assert out.dtype == np.int64
+        assert out.tolist() == [1, 2, 3]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_1d_int(np.zeros((2, 2)), "x")
+
+
+class TestStableArgsort:
+    def test_sorts(self):
+        assert stable_argsort(np.array([3, 1, 2])).tolist() == [1, 2, 0]
+
+    def test_stability_on_ties(self):
+        # equal keys keep original order — the greedy visit order relies
+        # on this
+        keys = np.array([1, 0, 1, 0, 1])
+        assert stable_argsort(keys).tolist() == [1, 3, 0, 2, 4]

@@ -1,0 +1,82 @@
+"""Tests for the ASCII visualisation helpers (repro.viz)."""
+
+import numpy as np
+
+from repro.algorithms import averaged_work_bound, sorted_greedy_hyp
+from repro.core import BipartiteGraph
+from repro.generators import generate_multiproc
+from repro.viz import (
+    compare_algorithms,
+    degree_histogram,
+    histogram,
+    load_bars,
+)
+
+
+class TestHistogram:
+    def test_basic(self):
+        text = histogram(np.array([1, 1, 2, 3, 3, 3]), bins=3)
+        assert text.count("\n") == 2
+        assert "#" in text
+
+    def test_title(self):
+        assert histogram(np.array([1.0]), title="demo").startswith("demo")
+
+    def test_empty(self):
+        assert "(no data)" in histogram(np.array([]))
+
+    def test_constant_values(self):
+        text = histogram(np.full(5, 7.0), bins=2)
+        assert "5" in text  # all five land in one bin
+
+
+class TestLoadBars:
+    def test_renders(self):
+        hg = generate_multiproc(60, 16, g=2, dv=2, dh=3, seed=0)
+        text = load_bars(sorted_greedy_hyp(hg), max_procs=8)
+        assert "makespan" in text
+        assert text.count("\n") == 8  # header + 8 rows
+
+    def test_empty(self):
+        from repro.core import TaskHypergraph
+        from repro.core.semimatching import HyperSemiMatching
+
+        hg = TaskHypergraph.from_hyperedges(0, 0, [], [])
+        m = HyperSemiMatching(hg, np.empty(0, dtype=np.int64))
+        assert "(no processors)" in load_bars(m)
+
+
+class TestDegreeHistogram:
+    def test_bipartite(self):
+        g = BipartiteGraph.from_neighbor_lists(
+            [[0, 1], [0], [1]], n_procs=2
+        )
+        text = degree_histogram(g)
+        assert "edges per task" in text
+
+    def test_hypergraph(self):
+        hg = generate_multiproc(30, 8, g=2, dv=2, dh=2, seed=0)
+        assert "configurations per task" in degree_histogram(hg)
+
+
+class TestCompare:
+    def test_orders_by_makespan(self):
+        hg = generate_multiproc(60, 16, g=2, dv=3, dh=3,
+                                weights="related", seed=1)
+        from repro.algorithms import expected_greedy_hyp
+
+        results = {
+            "SGH": sorted_greedy_hyp(hg),
+            "EGH": expected_greedy_hyp(hg),
+        }
+        lb = averaged_work_bound(hg)
+        text = compare_algorithms(results, lower_bound=lb)
+        lines = text.splitlines()
+        assert lines[-1].startswith("LB")
+        assert "x LB" in text
+        # first listed algorithm has the smallest makespan
+        first = min(results, key=lambda k: results[k].makespan)
+        assert lines[0].startswith(first)
+
+    def test_empty(self):
+        assert compare_algorithms({}) == "(no results)"

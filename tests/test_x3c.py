@@ -1,0 +1,82 @@
+"""Tests for the X3C reduction (paper Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    exhaustive_multiproc,
+    sorted_greedy_hyp,
+)
+from repro.generators import (
+    X3CInstance,
+    cover_from_matching,
+    is_exact_cover,
+    planted_x3c,
+    x3c_to_multiproc,
+)
+
+
+class TestInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="3-subset"):
+            X3CInstance(q=1, triples=((0, 0, 1),))
+        with pytest.raises(ValueError, match="out of range"):
+            X3CInstance(q=1, triples=((0, 1, 5),))
+        with pytest.raises(ValueError):
+            X3CInstance(q=0, triples=())
+
+    def test_planted_contains_cover(self):
+        inst = planted_x3c(5, extra_triples=8, seed=4)
+        assert inst.n_elements == 15
+        assert len(inst.triples) == 13
+        # the planted partition is in there: greedily verify some subset
+        # covers everything exactly (via the reduction below instead)
+
+    def test_planted_reproducible(self):
+        a = planted_x3c(4, extra_triples=3, seed=1)
+        b = planted_x3c(4, extra_triples=3, seed=1)
+        assert a.triples == b.triples
+
+
+class TestReduction:
+    def test_instance_shape(self):
+        inst = planted_x3c(3, extra_triples=2, seed=0)
+        hg = x3c_to_multiproc(inst)
+        assert hg.n_tasks == 3
+        assert hg.n_procs == 9
+        assert hg.n_hedges == 3 * len(inst.triples)
+        assert hg.is_unit
+        assert np.all(hg.hedge_sizes() == 3)
+
+    def test_yes_instance_has_makespan_one(self):
+        for seed in range(5):
+            inst = planted_x3c(3, extra_triples=4, seed=seed)
+            hg = x3c_to_multiproc(inst)
+            m = exhaustive_multiproc(hg)
+            assert m.makespan == 1.0
+            cover = cover_from_matching(inst, m)
+            assert is_exact_cover(inst, cover)
+
+    def test_no_instance_has_makespan_at_least_two(self):
+        # q=2 (6 elements) but all triples share element 0: no exact cover
+        inst = X3CInstance(
+            q=2,
+            triples=((0, 1, 2), (0, 3, 4), (0, 4, 5), (0, 2, 5)),
+        )
+        hg = x3c_to_multiproc(inst)
+        m = exhaustive_multiproc(hg)
+        assert m.makespan >= 2.0  # the Theorem 1 gap
+
+    def test_greedy_on_reduction_is_valid(self):
+        inst = planted_x3c(4, extra_triples=6, seed=2)
+        hg = x3c_to_multiproc(inst)
+        m = sorted_greedy_hyp(hg)
+        assert m.makespan >= 1.0
+
+
+class TestCoverCheck:
+    def test_exact_cover_detection(self):
+        inst = X3CInstance(q=2, triples=((0, 1, 2), (3, 4, 5), (0, 3, 4)))
+        assert is_exact_cover(inst, ((0, 1, 2), (3, 4, 5)))
+        assert not is_exact_cover(inst, ((0, 1, 2), (0, 3, 4)))
+        assert not is_exact_cover(inst, ((0, 1, 2),))
