@@ -20,6 +20,13 @@ Quick start
 >>> schedule.makespan
 3.0
 
+Batches of instances go through the engine instead — pooled workers, an
+instance-hash result cache, and an optional *portfolio mode* that races
+several algorithms per instance and keeps the best makespan::
+
+    from repro import solve_many
+    schedules = solve_many(problems, method="portfolio", max_workers=8)
+
 Package map
 -----------
 * :mod:`repro.core` — graphs, hypergraphs, semi-matching results;
@@ -27,7 +34,11 @@ Package map
 * :mod:`repro.algorithms` — exact solvers, heuristics, bounds;
 * :mod:`repro.generators` — random families, worst cases, X3C;
 * :mod:`repro.sched` — named scheduling problems and ``solve``;
-* :mod:`repro.experiments` — the paper's tables;
+* :mod:`repro.engine` — batch solving: ``BatchSolver``/``solve_many``
+  (process/thread pools, chunked distribution), portfolio racing, and a
+  content-addressed result cache shared with ``solve``;
+* :mod:`repro.experiments` — the paper's tables (engine-accelerated via
+  ``run_instances(..., max_workers=...)``);
 * :mod:`repro.io` — JSON serialisation.
 """
 
@@ -60,6 +71,7 @@ from .core import (
     SolverError,
     TaskHypergraph,
 )
+from .engine import BatchSolver, ResultCache, solve_many
 from .generators import generate_multiproc
 from .sched import Schedule, SchedulingProblem, TaskSpec, solve
 
@@ -82,6 +94,10 @@ __all__ = [
     "TaskSpec",
     "Schedule",
     "solve",
+    # batch engine
+    "BatchSolver",
+    "ResultCache",
+    "solve_many",
     # algorithms
     "basic_greedy",
     "sorted_greedy",

@@ -1,0 +1,34 @@
+"""Batch-solving engine: pooled execution, portfolio racing, result cache.
+
+* :class:`BatchSolver` / :func:`solve_many` — solve many instances
+  concurrently on a process or thread pool, with chunked distribution;
+* portfolio mode — race several registry algorithms per instance and
+  keep the best makespan;
+* :class:`ResultCache` — content-addressed LRU so repeated sweeps never
+  recompute;
+* :func:`solve_hypergraph` — the shared hypergraph-level dispatch that
+  both :func:`repro.sched.solve` and the pool workers execute.
+"""
+
+from .batch import BatchSolver, default_cache, default_engine, solve_many
+from .cache import ResultCache, instance_digest, solve_key
+from .dispatch import (
+    DEFAULT_PORTFOLIO,
+    known_methods,
+    solve_hypergraph,
+    solve_portfolio,
+)
+
+__all__ = [
+    "BatchSolver",
+    "solve_many",
+    "default_engine",
+    "default_cache",
+    "ResultCache",
+    "instance_digest",
+    "solve_key",
+    "DEFAULT_PORTFOLIO",
+    "known_methods",
+    "solve_hypergraph",
+    "solve_portfolio",
+]

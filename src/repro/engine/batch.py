@@ -1,0 +1,342 @@
+"""Throughput-oriented batch solving: :class:`BatchSolver` and
+:func:`solve_many`.
+
+The paper's harness (and the seed's :func:`repro.sched.solve`) works one
+instance at a time.  This module turns the same dispatch into an engine:
+
+* **batching** — hand over many :class:`~repro.sched.model.SchedulingProblem`
+  or :class:`~repro.core.hypergraph.TaskHypergraph` instances at once;
+* **pooling** — instances are solved concurrently on a
+  :mod:`concurrent.futures` process (or thread) pool, distributed in
+  chunks so per-task pickling overhead amortises;
+* **portfolio mode** — race several algorithms per instance and keep the
+  best makespan (never worse than any single constituent);
+* **caching** — a content-addressed LRU of solved assignments, so
+  repeated sweeps over the same instances (``experiments.sweep``, the
+  Table I–III harness) never recompute.
+
+Results come back in input order and are bit-identical to a sequential
+loop over :func:`repro.sched.solve`: workers run the very same
+:func:`repro.engine.dispatch.solve_hypergraph`, all methods are
+deterministic for a fixed ``seed``, and the pool layout (worker count,
+chunk size, executor kind) can only change *where* an instance is solved,
+never *what* is computed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching
+from ..sched.model import SchedulingProblem
+from ..sched.schedule import Schedule
+from .cache import ResultCache, solve_key
+from .dispatch import solve_hypergraph
+
+__all__ = ["BatchSolver", "solve_many", "default_engine", "default_cache"]
+
+Instance = Union[SchedulingProblem, TaskHypergraph]
+Solved = Union[Schedule, HyperSemiMatching]
+
+_EXECUTORS = ("process", "thread", "serial")
+
+#: Cache shared by every engine created with ``cache=True`` (including
+#: the default engine behind :func:`repro.sched.solve`).
+_DEFAULT_CACHE = ResultCache()
+
+_DEFAULT_ENGINE: "BatchSolver | None" = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide shared result cache."""
+    return _DEFAULT_CACHE
+
+
+def _solve_chunk(
+    hgs: list[TaskHypergraph], opts: dict
+) -> list[np.ndarray]:
+    """Worker payload: solve a chunk, return the chosen assignments.
+
+    Returning bare ``hedge_of_task`` arrays (rather than full matchings)
+    keeps the result pickle small; the parent rebuilds — and thereby
+    re-validates — each :class:`HyperSemiMatching` against its own copy
+    of the instance.
+    """
+    return [
+        solve_hypergraph(hg, **opts).hedge_of_task for hg in hgs
+    ]
+
+
+class BatchSolver:
+    """Solve many scheduling instances concurrently.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.  ``1`` solves inline
+        (no pool, no pickling).
+    executor:
+        ``"process"`` (default; real parallelism for these CPU-bound,
+        GIL-holding algorithms), ``"thread"`` (cheap to spin up, useful
+        for tests and IO-adjacent callers) or ``"serial"`` (always
+        inline, whatever ``max_workers`` says).
+    chunk_size:
+        Instances per pool task; defaults to ``ceil(pending / (4 *
+        max_workers))`` so each worker sees a handful of chunks (good
+        load balance) without per-instance round-trips.
+    cache:
+        ``True`` (default) — share the process-wide
+        :func:`default_cache`; a :class:`ResultCache` — use that
+        instance; ``False``/``None`` — never cache.
+    method, refine, portfolio, seed:
+        Default solve options, overridable per :meth:`solve_many` call.
+        ``portfolio`` (a tuple of registry names, ``"grasp"``,
+        ``"exhaustive"``, optionally suffixed ``"+ls"``) switches an
+        instance to portfolio mode, as does ``method="portfolio"``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int | None = None,
+        executor: str = "process",
+        chunk_size: int | None = None,
+        cache: ResultCache | bool | None = True,
+        method: str = "auto",
+        refine: bool = False,
+        portfolio: Sequence[str] | None = None,
+        seed: int = 0,
+    ):
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {_EXECUTORS}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.max_workers = (
+            max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        self.executor = executor
+        self.chunk_size = chunk_size
+        # identity checks: an empty ResultCache is falsy (it has __len__)
+        if cache is True:
+            self.cache: ResultCache | None = _DEFAULT_CACHE
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.method = method
+        self.refine = refine
+        self.portfolio = tuple(portfolio) if portfolio is not None else None
+        self.seed = seed
+        self._pool = None  # lazily created, reused across solve_many calls
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(
+        instance: Instance,
+    ) -> tuple[SchedulingProblem | None, TaskHypergraph]:
+        if isinstance(instance, SchedulingProblem):
+            return instance, instance.to_hypergraph()
+        if isinstance(instance, TaskHypergraph):
+            return None, instance
+        raise TypeError(
+            "instances must be SchedulingProblem or TaskHypergraph, "
+            f"got {type(instance).__name__}"
+        )
+
+    def _options(
+        self,
+        method: str | None,
+        refine: bool | None,
+        portfolio: Sequence[str] | None,
+        seed: int | None,
+    ) -> dict:
+        # The engine-level portfolio default only applies when the call
+        # names no strategy at all: an explicit per-call ``method`` must
+        # win (dispatch gives portfolio precedence over method, so
+        # inheriting self.portfolio here would silently shadow it).
+        if portfolio is None and method is None:
+            portfolio = self.portfolio
+        return {
+            "method": method if method is not None else self.method,
+            "refine": refine if refine is not None else self.refine,
+            "portfolio": tuple(portfolio) if portfolio is not None else None,
+            "seed": seed if seed is not None else self.seed,
+        }
+
+    # ------------------------------------------------------------------
+    def solve(self, instance: Instance, **overrides) -> Solved:
+        """Solve one instance (serial fast path; still cached)."""
+        return self.solve_many([instance], **overrides)[0]
+
+    def solve_many(
+        self,
+        instances: Iterable[Instance],
+        *,
+        method: str | None = None,
+        refine: bool | None = None,
+        portfolio: Sequence[str] | None = None,
+        seed: int | None = None,
+    ) -> list[Solved]:
+        """Solve every instance; results come back in input order.
+
+        :class:`SchedulingProblem` inputs yield :class:`Schedule` results,
+        :class:`TaskHypergraph` inputs yield :class:`HyperSemiMatching`.
+        """
+        opts = self._options(method, refine, portfolio, seed)
+        pairs = [self._coerce(x) for x in instances]
+        results: list[HyperSemiMatching | None] = [None] * len(pairs)
+
+        # 1. serve what the cache already knows
+        keys: list[tuple | None] = [None] * len(pairs)
+        pending: list[int] = []
+        for i, (_, hg) in enumerate(pairs):
+            if self.cache is not None:
+                key = solve_key(
+                    hg, opts["method"], opts["refine"], opts["portfolio"],
+                    opts["seed"],
+                )
+                keys[i] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = HyperSemiMatching(hg, hit)
+                    continue
+            pending.append(i)
+
+        # 2. solve the rest, pooled when it pays off
+        if pending:
+            if (
+                self.executor == "serial"
+                or self.max_workers == 1
+                or len(pending) == 1
+            ):
+                for i in pending:
+                    results[i] = solve_hypergraph(pairs[i][1], **opts)
+            else:
+                self._solve_pooled(pairs, pending, opts, results)
+            if self.cache is not None:
+                for i in pending:
+                    results[i] = _checked(results[i])
+                    self.cache.put(keys[i], results[i].hedge_of_task)
+
+        return [
+            Schedule(problem, _checked(matching)) if problem is not None
+            else _checked(matching)
+            for (problem, _), matching in zip(pairs, results)
+        ]
+
+    # ------------------------------------------------------------------
+    def _solve_pooled(
+        self,
+        pairs: list[tuple[SchedulingProblem | None, TaskHypergraph]],
+        pending: list[int],
+        opts: dict,
+        results: list[HyperSemiMatching | None],
+    ) -> None:
+        n_workers = min(self.max_workers, len(pending))
+        chunk = self.chunk_size or -(-len(pending) // (4 * n_workers))
+        chunks = [
+            pending[lo : lo + chunk] for lo in range(0, len(pending), chunk)
+        ]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_solve_chunk, [pairs[i][1] for i in idxs], opts)
+            for idxs in chunks
+        ]
+        for idxs, future in zip(chunks, futures):
+            for i, assignment in zip(idxs, future.result()):
+                results[i] = HyperSemiMatching(pairs[i][1], assignment)
+
+    def _ensure_pool(self):
+        """The solver's executor, created once and reused.
+
+        Spawning a process pool costs more than solving a small batch, so
+        callers like the experiment runner — one ``solve_many`` per
+        (spec, algorithm) — must not pay it every call.  The pool is shut
+        down by :meth:`close` (or interpreter exit via
+        :mod:`concurrent.futures`' own atexit hook).
+        """
+        if self._pool is None:
+            pool_cls = (
+                ProcessPoolExecutor if self.executor == "process"
+                else ThreadPoolExecutor
+            )
+            self._pool = pool_cls(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; solver stays usable —
+        the next pooled call recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "BatchSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _checked(matching: HyperSemiMatching | None) -> HyperSemiMatching:
+    assert matching is not None  # every index is cached or pending
+    return matching
+
+
+def solve_many(
+    instances: Iterable[Instance],
+    *,
+    method: str = "auto",
+    refine: bool = False,
+    portfolio: Sequence[str] | None = None,
+    seed: int = 0,
+    max_workers: int | None = None,
+    executor: str = "process",
+    chunk_size: int | None = None,
+    cache: ResultCache | bool | None = True,
+) -> list[Solved]:
+    """One-call batch solve (see :class:`BatchSolver` for the knobs).
+
+    >>> from repro import SchedulingProblem, solve_many
+    >>> probs = []
+    >>> for k in range(3):
+    ...     p = SchedulingProblem(processors=["a", "b"])
+    ...     _ = p.add_sequential_task("t", [("a", 1.0 + k), ("b", 2.0)])
+    ...     probs.append(p)
+    >>> [s.makespan for s in solve_many(probs, max_workers=1)]
+    [1.0, 2.0, 2.0]
+    """
+    engine = BatchSolver(
+        max_workers=max_workers,
+        executor=executor,
+        chunk_size=chunk_size,
+        cache=cache,
+        method=method,
+        refine=refine,
+        portfolio=portfolio,
+        seed=seed,
+    )
+    return engine.solve_many(instances)
+
+
+def default_engine() -> BatchSolver:
+    """The lazily-created engine behind :func:`repro.sched.solve`.
+
+    Serial (single-instance calls gain nothing from a pool) but sharing
+    the process-wide result cache, so ``solve()`` calls, batch runs and
+    sweeps all feed one another.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = BatchSolver(
+            max_workers=1, executor="serial", cache=True
+        )
+    return _DEFAULT_ENGINE

@@ -1,0 +1,125 @@
+"""Content-addressed result cache for the batch engine.
+
+Instances are keyed by a SHA-256 digest of their defining arrays, so two
+structurally identical hypergraphs hit the same entry regardless of how
+they were built (``from_configurations``, ``to_hypergraph``, JSON
+round-trip, ...).  The cached value is the chosen ``hedge_of_task``
+assignment — small, picklable, and enough to reconstruct an identical
+:class:`~repro.core.semimatching.HyperSemiMatching` against any equal
+instance.
+
+A cache entry is only valid for the exact solver options it was computed
+under, so the full key is ``(instance digest, method, refine, portfolio,
+seed)``.  The cache is a bounded LRU and is thread-safe; the default
+shared instance lives in :mod:`repro.engine.batch` so repeated sweeps
+(``experiments.sweep``, the Table I–III harness) never recompute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+
+__all__ = ["ResultCache", "instance_digest", "solve_key"]
+
+
+def instance_digest(hg: TaskHypergraph) -> str:
+    """SHA-256 digest of the arrays that define ``hg``.
+
+    ``task_ptr``/``proc_ptr`` and friends are derived from the hyperedge
+    arrays, so hashing ``hedge_task``, ``hedge_ptr``, ``hedge_procs`` and
+    ``hedge_w`` (plus the vertex counts) identifies the instance.
+    """
+    h = hashlib.sha256()
+    h.update(f"{hg.n_tasks}|{hg.n_procs}|{hg.n_hedges}|".encode())
+    for arr in (hg.hedge_task, hg.hedge_ptr, hg.hedge_procs):
+        h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+        h.update(b"#")
+    h.update(np.ascontiguousarray(hg.hedge_w, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+def solve_key(
+    hg: TaskHypergraph,
+    method: str,
+    refine: bool,
+    portfolio: tuple[str, ...] | None,
+    seed: int,
+) -> tuple:
+    """The full cache key for solving ``hg`` under these options."""
+    return (
+        instance_digest(hg),
+        method,
+        bool(refine),
+        tuple(portfolio) if portfolio is not None else None,
+        int(seed),
+    )
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU cache of solve results.
+
+    Values are ``hedge_of_task`` arrays (stored and returned as copies, so
+    neither side can mutate the other's view).  ``hits``/``misses`` make
+    cache effectiveness observable in benchmarks and sweeps.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        """The cached assignment for ``key``, or None (counts a miss)."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value.copy()
+
+    def put(self, key: tuple, assignment: np.ndarray) -> None:
+        """Store an assignment, evicting the least recently used entry."""
+        value = np.ascontiguousarray(assignment, dtype=np.int64).copy()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """``{"entries", "hits", "misses"}`` snapshot."""
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache(entries={len(self._data)}, hits={self.hits}, "
+            f"misses={self.misses}, maxsize={self.maxsize})"
+        )

@@ -1,0 +1,199 @@
+"""Hypergraph-level solve dispatch: the single place that turns a
+:class:`~repro.core.hypergraph.TaskHypergraph` plus a method name into a
+:class:`~repro.core.semimatching.HyperSemiMatching`.
+
+Both the user-facing :func:`repro.sched.solve` and the batch engine's
+worker processes call :func:`solve_hypergraph`, so sequential and pooled
+solving are guaranteed to agree bit-for-bit.  The dispatch rules mirror
+the paper's Section IV structure:
+
+* ``method="auto"`` — SINGLEPROC-UNIT instances get the exact polynomial
+  algorithm; everything else gets the strongest heuristic the paper
+  recommends for its weight class (EVG for weighted hypergraphs, VGH for
+  unit hypergraphs, expected/sorted greedy for bipartite);
+* any registry name (``"SGH"``, ``"EVG"``, ``"sorted-greedy"``, ...)
+  forces that algorithm;
+* ``method="grasp"`` runs the multi-start metaheuristic (slowest, best);
+* ``method="exhaustive"`` runs the branch-and-bound oracle (tiny
+  instances only);
+* ``method="portfolio"`` races several algorithms and keeps the best
+  makespan (see :func:`solve_portfolio`).
+
+Everything here operates on hypergraphs only — SINGLEPROC instances are
+recognised structurally (:meth:`TaskHypergraph.is_bipartite_graph`) and
+lifted through the bipartite algorithms, which keeps the worker payload
+free of the named :class:`~repro.sched.model.SchedulingProblem` layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.exhaustive import exhaustive_multiproc
+from ..algorithms.local_search import local_search
+from ..algorithms.registry import (
+    BIPARTITE_ALGORITHMS,
+    HYPERGRAPH_ALGORITHMS,
+)
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching
+
+__all__ = [
+    "DEFAULT_PORTFOLIO",
+    "known_methods",
+    "solve_hypergraph",
+    "solve_portfolio",
+]
+
+#: Portfolio raced by ``method="portfolio"`` when no explicit line-up is
+#: given: the paper's four hypergraph greedies, EVG with local-search
+#: refinement, and GRASP.  ``"<name>+ls"`` means "run <name>, then refine
+#: with local search".
+DEFAULT_PORTFOLIO = ("SGH", "VGH", "EGH", "EVG", "EVG+ls", "grasp")
+
+
+def known_methods() -> list[str]:
+    """Every name :func:`solve_hypergraph` accepts."""
+    return sorted(
+        {"auto", "exhaustive", "grasp", "portfolio"}
+        | set(HYPERGRAPH_ALGORITHMS)
+        | set(BIPARTITE_ALGORITHMS)
+    )
+
+
+def _empty(hg: TaskHypergraph) -> HyperSemiMatching:
+    return HyperSemiMatching(hg, np.empty(0, dtype=np.int64))
+
+
+def _lift_bipartite(hg: TaskHypergraph, name: str) -> HyperSemiMatching:
+    """Run a bipartite algorithm on a SINGLEPROC hypergraph.
+
+    ``hg.to_bipartite()`` feeds the hyperedges to
+    :meth:`BipartiteGraph.from_edges` in hyperedge order, whose stable CSR
+    build maps CSR edge ``j`` back to hyperedge
+    ``argsort(hedge_task, stable)[j]``.
+    """
+    graph = hg.to_bipartite()
+    sm = BIPARTITE_ALGORITHMS[name](graph)
+    edge_to_hedge = np.argsort(hg.hedge_task, kind="stable")
+    return HyperSemiMatching(hg, edge_to_hedge[sm.edge_of_task])
+
+
+def _require_singleproc(hg: TaskHypergraph, method: str) -> None:
+    if not hg.is_bipartite_graph():
+        raise ValueError(
+            f"{method!r} is a SINGLEPROC algorithm but the problem "
+            "has parallel tasks"
+        )
+
+
+def solve_hypergraph(
+    hg: TaskHypergraph,
+    *,
+    method: str = "auto",
+    refine: bool = False,
+    portfolio: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> HyperSemiMatching:
+    """Solve one hypergraph instance; the engine's unit of work.
+
+    ``refine=True`` post-processes heuristic solutions with
+    :func:`repro.algorithms.local_search` (never worsens the makespan).
+    ``seed`` only affects the randomised methods (``"grasp"`` and any
+    portfolio entry using it); every other method is deterministic.
+    """
+    if portfolio is not None or method == "portfolio":
+        return solve_portfolio(
+            hg,
+            algorithms=portfolio if portfolio is not None else DEFAULT_PORTFOLIO,
+            refine=refine,
+            seed=seed,
+        )
+    if hg.n_tasks == 0:
+        return _empty(hg)
+
+    if method == "auto":
+        if hg.is_bipartite_graph() and hg.is_unit:
+            return _lift_bipartite(hg, "exact")
+        if hg.is_bipartite_graph():
+            matching = _lift_bipartite(hg, "expected-greedy")
+        elif hg.is_unit:
+            matching = HYPERGRAPH_ALGORITHMS["VGH"](hg)
+        else:
+            matching = HYPERGRAPH_ALGORITHMS["EVG"](hg)
+    elif method == "exhaustive":
+        matching = exhaustive_multiproc(hg)
+    elif method == "grasp":
+        from ..algorithms.grasp import grasp
+
+        matching = grasp(hg, seed=seed).matching
+    elif method in HYPERGRAPH_ALGORITHMS:
+        matching = HYPERGRAPH_ALGORITHMS[method](hg)
+    elif method in BIPARTITE_ALGORITHMS:
+        _require_singleproc(hg, method)
+        matching = _lift_bipartite(hg, method)
+    else:
+        raise ValueError(
+            f"unknown method {method!r}; known: {known_methods()}"
+        )
+
+    if refine and method != "exhaustive":
+        matching = local_search(matching).matching
+    return matching
+
+
+def _run_portfolio_entry(
+    hg: TaskHypergraph, entry: str, seed: int
+) -> HyperSemiMatching:
+    base, _, suffix = entry.partition("+")
+    if suffix and suffix != "ls":
+        raise ValueError(
+            f"unknown portfolio suffix {suffix!r} in {entry!r}; "
+            "only '+ls' (local-search refinement) is supported"
+        )
+    if base == "grasp":
+        from ..algorithms.grasp import grasp
+
+        matching = grasp(hg, seed=seed).matching
+    elif base == "exhaustive":
+        matching = exhaustive_multiproc(hg)
+    elif base in HYPERGRAPH_ALGORITHMS:
+        matching = HYPERGRAPH_ALGORITHMS[base](hg)
+    elif base in BIPARTITE_ALGORITHMS:
+        _require_singleproc(hg, base)
+        matching = _lift_bipartite(hg, base)
+    else:
+        raise ValueError(
+            f"unknown portfolio entry {entry!r}; entries are registry "
+            f"names, 'grasp' or 'exhaustive', optionally with '+ls'"
+        )
+    if suffix:
+        matching = local_search(matching).matching
+    return matching
+
+
+def solve_portfolio(
+    hg: TaskHypergraph,
+    *,
+    algorithms: tuple[str, ...] = DEFAULT_PORTFOLIO,
+    refine: bool = False,
+    seed: int = 0,
+) -> HyperSemiMatching:
+    """Race ``algorithms`` on one instance and keep the best makespan.
+
+    By construction the result is never worse than any single constituent
+    algorithm; ties keep the earliest entry, so the outcome is
+    deterministic for a fixed line-up and seed.
+    """
+    if not algorithms:
+        raise ValueError("portfolio needs at least one algorithm")
+    if hg.n_tasks == 0:
+        return _empty(hg)
+    best: HyperSemiMatching | None = None
+    for entry in algorithms:
+        matching = _run_portfolio_entry(hg, entry, seed)
+        if refine:
+            matching = local_search(matching).matching
+        if best is None or matching.makespan < best.makespan:
+            best = matching
+    return best

@@ -124,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
         "--grid", type=int, nargs="+", default=[2, 5, 10],
         help="dv and dh values to combine",
     )
+    sw.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="solve each grid cell on an N-worker batch engine "
+             "(with result caching across cells)",
+    )
 
     st = subs.add_parser(
         "stats", help="describe a JSON instance (shape, degrees, balance)"
@@ -199,6 +204,7 @@ def main(argv: list[str] | None = None) -> int:
             dv_values=tuple(args.grid),
             dh_values=tuple(args.grid),
             n_seeds=args.seeds,
+            max_workers=args.workers,
         )
         print(sweep.describe())
         return 0

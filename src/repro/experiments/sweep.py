@@ -58,6 +58,8 @@ def ranking_sweep(
     n_seeds: int = 3,
     seed0: int = 0,
     rank_tolerance: float = 0.005,
+    engine=None,
+    max_workers: int | None = None,
 ) -> RankingSweep:
     """Run every ``(dv, dh)`` combination and rank the algorithms.
 
@@ -65,7 +67,18 @@ def ranking_sweep(
     differ by less than this into a tie (ranked by the input order), so
     instance noise does not manufacture spurious ranking flips — the
     paper's claim is about the *meaningful* order.
+
+    ``engine``/``max_workers`` run each cell through the batch engine
+    (see :func:`repro.experiments.runner.run_instances`); the engine's
+    result cache means re-running a sweep — or overlapping grids — never
+    recomputes a solved instance.
     """
+    if engine is None and max_workers is not None:
+        from ..engine import BatchSolver, ResultCache
+
+        # private cache (shared across the grid's cells, not the
+        # process) — see run_instances for the timing rationale
+        engine = BatchSolver(max_workers=max_workers, cache=ResultCache())
     rankings: dict[tuple[int, int], tuple[str, ...]] = {}
     averages: dict[tuple[int, int], dict[str, float]] = {}
     for dv in dv_values:
@@ -76,6 +89,7 @@ def ranking_sweep(
                 algorithms=algorithms,
                 n_seeds=n_seeds,
                 seed0=seed0,
+                engine=engine,
             )
             avg = res.average_quality()
             averages[(dv, dh)] = avg

@@ -1,7 +1,14 @@
 """High-level ``solve`` entry point: pick the right algorithm for the
 instance and return a named :class:`~repro.sched.schedule.Schedule`.
 
-Dispatch rules (mirroring the paper's Section IV structure):
+Since the batch engine landed, this is a thin veneer over
+:mod:`repro.engine`: the dispatch rules (mirroring the paper's Section IV
+structure) live in :func:`repro.engine.dispatch.solve_hypergraph`, and
+``solve`` routes through the shared default engine so single-instance
+calls hit the same content-addressed result cache as batch runs and
+sweeps.
+
+Dispatch summary:
 
 * ``method="auto"`` — SINGLEPROC-UNIT instances get the exact
   polynomial algorithm; everything else gets the strongest heuristic the
@@ -12,37 +19,20 @@ Dispatch rules (mirroring the paper's Section IV structure):
   forces that algorithm;
 * ``method="grasp"`` runs the multi-start metaheuristic (slowest, best);
 * ``method="exhaustive"`` runs the branch-and-bound oracle (tiny
-  instances only).
+  instances only);
+* ``method="portfolio"`` races the default portfolio
+  (:data:`repro.engine.DEFAULT_PORTFOLIO`) and keeps the best makespan.
+
+For many instances at once, use :func:`repro.engine.solve_many` — same
+semantics, pooled execution.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..algorithms.exact_unit import exact_singleproc_unit
-from ..algorithms.exhaustive import exhaustive_multiproc
-from ..algorithms.local_search import local_search
-from ..algorithms.registry import (
-    BIPARTITE_ALGORITHMS,
-    HYPERGRAPH_ALGORITHMS,
-)
-from ..core.hypergraph import TaskHypergraph
-from ..core.semimatching import HyperSemiMatching
 from .model import SchedulingProblem
 from .schedule import Schedule
 
 __all__ = ["solve"]
-
-
-def _lift_bipartite_result(
-    problem: SchedulingProblem, hg: TaskHypergraph, name: str
-) -> HyperSemiMatching:
-    """Run a bipartite algorithm on a singleproc problem, as hyperedges."""
-    graph = problem.to_bipartite()
-    sm = BIPARTITE_ALGORITHMS[name](graph)
-    # to_hypergraph emits hyperedges task-major in configuration order,
-    # exactly like the bipartite CSR slices: indices map one-to-one.
-    return HyperSemiMatching(hg, sm.edge_of_task)
 
 
 def solve(
@@ -56,46 +46,6 @@ def solve(
     ``refine=True`` post-processes heuristic solutions with
     :func:`repro.algorithms.local_search` (never worsens the makespan).
     """
-    if problem.n_tasks == 0:
-        hg = problem.to_hypergraph()
-        return Schedule(
-            problem, HyperSemiMatching(hg, np.empty(0, dtype=np.int64))
-        )
-    hg = problem.to_hypergraph()
+    from ..engine.batch import default_engine
 
-    if method == "auto":
-        if problem.is_singleproc and problem.is_unit:
-            matching = _lift_bipartite_result(problem, hg, "exact")
-            return Schedule(problem, matching)
-        if problem.is_singleproc:
-            matching = _lift_bipartite_result(problem, hg, "expected-greedy")
-        elif hg.is_unit:
-            matching = HYPERGRAPH_ALGORITHMS["VGH"](hg)
-        else:
-            matching = HYPERGRAPH_ALGORITHMS["EVG"](hg)
-    elif method == "exhaustive":
-        matching = exhaustive_multiproc(hg)
-    elif method == "grasp":
-        from ..algorithms.grasp import grasp
-
-        matching = grasp(hg, seed=0).matching
-    elif method in HYPERGRAPH_ALGORITHMS:
-        matching = HYPERGRAPH_ALGORITHMS[method](hg)
-    elif method in BIPARTITE_ALGORITHMS:
-        if not problem.is_singleproc:
-            raise ValueError(
-                f"{method!r} is a SINGLEPROC algorithm but the problem "
-                "has parallel tasks"
-            )
-        matching = _lift_bipartite_result(problem, hg, method)
-    else:
-        known = sorted(
-            {"auto", "exhaustive", "grasp"}
-            | set(HYPERGRAPH_ALGORITHMS)
-            | set(BIPARTITE_ALGORITHMS)
-        )
-        raise ValueError(f"unknown method {method!r}; known: {known}")
-
-    if refine and method != "exhaustive":
-        matching = local_search(matching).matching
-    return Schedule(problem, matching)
+    return default_engine().solve(problem, method=method, refine=refine)

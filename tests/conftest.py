@@ -1,10 +1,16 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+The random-instance builders and hypothesis strategies live in
+:mod:`strategies` (``tests/strategies.py``) so test modules can import
+them by a name that is unique in the repository — ``from conftest import
+...`` used to break whenever another ``conftest.py`` (the benchmarks one)
+was imported first under the same module name.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import strategies as st
 
 from repro.core import BipartiteGraph, TaskHypergraph
 
@@ -45,111 +51,3 @@ def small_weighted_hypergraph() -> TaskHypergraph:
         n_procs=3,
     )
     return hg.with_weights(np.array([2.0, 5.0, 3.0, 1.5, 4.0, 2.5, 1.0]))
-
-
-# ---------------------------------------------------------------------------
-# random instance builders (plain RNG, for loops over many cases)
-# ---------------------------------------------------------------------------
-def random_bipartite(
-    rng: np.random.Generator,
-    max_tasks: int = 12,
-    max_procs: int = 8,
-    unit: bool = True,
-) -> BipartiteGraph:
-    """A random total bipartite instance (every task has >= 1 edge)."""
-    n = int(rng.integers(1, max_tasks + 1))
-    p = int(rng.integers(1, max_procs + 1))
-    nbrs = [
-        rng.choice(p, size=int(rng.integers(1, p + 1)), replace=False)
-        for _ in range(n)
-    ]
-    g = BipartiteGraph.from_neighbor_lists(nbrs, n_procs=p)
-    if not unit:
-        g = g.with_weights(rng.integers(1, 8, size=g.n_edges).astype(float))
-    return g
-
-
-def random_hypergraph(
-    rng: np.random.Generator,
-    max_tasks: int = 8,
-    max_procs: int = 6,
-    unit: bool = False,
-) -> TaskHypergraph:
-    """A random total MULTIPROC instance."""
-    n = int(rng.integers(1, max_tasks + 1))
-    p = int(rng.integers(2, max_procs + 1))
-    confs = []
-    for _ in range(n):
-        dv = int(rng.integers(1, 4))
-        confs.append(
-            [
-                list(rng.choice(p, size=int(rng.integers(1, p + 1)),
-                                replace=False))
-                for _ in range(dv)
-            ]
-        )
-    hg = TaskHypergraph.from_configurations(confs, n_procs=p)
-    if not unit:
-        hg = hg.with_weights(
-            rng.integers(1, 6, size=hg.n_hedges).astype(float)
-        )
-    return hg
-
-
-# ---------------------------------------------------------------------------
-# hypothesis strategies
-# ---------------------------------------------------------------------------
-@st.composite
-def bipartite_graphs(draw, max_tasks: int = 10, max_procs: int = 7,
-                     weighted: bool = False):
-    """Hypothesis strategy for total bipartite instances."""
-    n = draw(st.integers(1, max_tasks))
-    p = draw(st.integers(1, max_procs))
-    nbrs = [
-        draw(
-            st.lists(
-                st.integers(0, p - 1), min_size=1, max_size=p, unique=True
-            )
-        )
-        for _ in range(n)
-    ]
-    weights = None
-    if weighted:
-        weights = [
-            [draw(st.integers(1, 9)) for _ in nb] for nb in nbrs
-        ]
-    return BipartiteGraph.from_neighbor_lists(
-        nbrs, n_procs=p, weights=weights
-    )
-
-
-@st.composite
-def task_hypergraphs(draw, max_tasks: int = 7, max_procs: int = 6,
-                     weighted: bool = True):
-    """Hypothesis strategy for total MULTIPROC instances."""
-    n = draw(st.integers(1, max_tasks))
-    p = draw(st.integers(1, max_procs))
-    confs = []
-    for _ in range(n):
-        dv = draw(st.integers(1, 3))
-        confs.append(
-            [
-                draw(
-                    st.lists(
-                        st.integers(0, p - 1),
-                        min_size=1,
-                        max_size=p,
-                        unique=True,
-                    )
-                )
-                for _ in range(dv)
-            ]
-        )
-    hg = TaskHypergraph.from_configurations(confs, n_procs=p)
-    if weighted:
-        w = np.array(
-            [draw(st.integers(1, 9)) for _ in range(hg.n_hedges)],
-            dtype=float,
-        )
-        hg = hg.with_weights(w)
-    return hg

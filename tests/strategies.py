@@ -1,0 +1,130 @@
+"""Shared random-instance builders and hypothesis strategies.
+
+Importable as ``from strategies import ...`` by every test module.  These
+used to live in ``tests/conftest.py``, but importing *conftest* by name is
+fragile: whichever ``conftest.py`` pytest put on ``sys.path`` first wins
+(the ``benchmarks/`` one shadowed ours), so the helpers now live in a
+module whose name is unique in the repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core import BipartiteGraph, TaskHypergraph
+
+__all__ = [
+    "random_bipartite",
+    "random_hypergraph",
+    "bipartite_graphs",
+    "task_hypergraphs",
+]
+
+
+# ---------------------------------------------------------------------------
+# random instance builders (plain RNG, for loops over many cases)
+# ---------------------------------------------------------------------------
+def random_bipartite(
+    rng: np.random.Generator,
+    max_tasks: int = 12,
+    max_procs: int = 8,
+    unit: bool = True,
+) -> BipartiteGraph:
+    """A random total bipartite instance (every task has >= 1 edge)."""
+    n = int(rng.integers(1, max_tasks + 1))
+    p = int(rng.integers(1, max_procs + 1))
+    nbrs = [
+        rng.choice(p, size=int(rng.integers(1, p + 1)), replace=False)
+        for _ in range(n)
+    ]
+    g = BipartiteGraph.from_neighbor_lists(nbrs, n_procs=p)
+    if not unit:
+        g = g.with_weights(rng.integers(1, 8, size=g.n_edges).astype(float))
+    return g
+
+
+def random_hypergraph(
+    rng: np.random.Generator,
+    max_tasks: int = 8,
+    max_procs: int = 6,
+    unit: bool = False,
+) -> TaskHypergraph:
+    """A random total MULTIPROC instance."""
+    n = int(rng.integers(1, max_tasks + 1))
+    p = int(rng.integers(2, max_procs + 1))
+    confs = []
+    for _ in range(n):
+        dv = int(rng.integers(1, 4))
+        confs.append(
+            [
+                list(rng.choice(p, size=int(rng.integers(1, p + 1)),
+                                replace=False))
+                for _ in range(dv)
+            ]
+        )
+    hg = TaskHypergraph.from_configurations(confs, n_procs=p)
+    if not unit:
+        hg = hg.with_weights(
+            rng.integers(1, 6, size=hg.n_hedges).astype(float)
+        )
+    return hg
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def bipartite_graphs(draw, max_tasks: int = 10, max_procs: int = 7,
+                     weighted: bool = False):
+    """Hypothesis strategy for total bipartite instances."""
+    n = draw(st.integers(1, max_tasks))
+    p = draw(st.integers(1, max_procs))
+    nbrs = [
+        draw(
+            st.lists(
+                st.integers(0, p - 1), min_size=1, max_size=p, unique=True
+            )
+        )
+        for _ in range(n)
+    ]
+    weights = None
+    if weighted:
+        weights = [
+            [draw(st.integers(1, 9)) for _ in nb] for nb in nbrs
+        ]
+    return BipartiteGraph.from_neighbor_lists(
+        nbrs, n_procs=p, weights=weights
+    )
+
+
+@st.composite
+def task_hypergraphs(draw, max_tasks: int = 7, max_procs: int = 6,
+                     weighted: bool = True):
+    """Hypothesis strategy for total MULTIPROC instances."""
+    n = draw(st.integers(1, max_tasks))
+    p = draw(st.integers(1, max_procs))
+    confs = []
+    for _ in range(n):
+        dv = draw(st.integers(1, 3))
+        confs.append(
+            [
+                draw(
+                    st.lists(
+                        st.integers(0, p - 1),
+                        min_size=1,
+                        max_size=p,
+                        unique=True,
+                    )
+                )
+                for _ in range(dv)
+            ]
+        )
+    hg = TaskHypergraph.from_configurations(confs, n_procs=p)
+    if weighted:
+        w = np.array(
+            [draw(st.integers(1, 9)) for _ in range(hg.n_hedges)],
+            dtype=float,
+        )
+        hg = hg.with_weights(w)
+    return hg

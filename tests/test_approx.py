@@ -11,7 +11,7 @@ from repro.algorithms import (
 )
 from repro.core import BipartiteGraph, InfeasibleError
 
-from conftest import bipartite_graphs
+from strategies import bipartite_graphs
 
 
 class TestLST:

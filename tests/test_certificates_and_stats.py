@@ -20,7 +20,7 @@ from repro.core import (
 )
 from repro.generators import fig3_family, generate_multiproc
 
-from conftest import bipartite_graphs
+from strategies import bipartite_graphs
 
 
 class TestHallViolator:

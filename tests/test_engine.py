@@ -1,0 +1,303 @@
+"""Tests for the batch-solving engine (repro.engine)."""
+
+import numpy as np
+import pytest
+
+from repro import BatchSolver, SchedulingProblem, solve, solve_many
+from repro.core import TaskHypergraph
+from repro.engine import (
+    DEFAULT_PORTFOLIO,
+    ResultCache,
+    instance_digest,
+    solve_hypergraph,
+    solve_portfolio,
+)
+from repro.experiments import run_instances
+from repro.experiments.instances import SMALL_SPECS
+from repro.sched import Schedule
+
+from strategies import random_hypergraph
+
+
+@pytest.fixture
+def instances():
+    rng = np.random.default_rng(42)
+    return [
+        random_hypergraph(rng, max_tasks=10, max_procs=6) for _ in range(10)
+    ]
+
+
+@pytest.fixture
+def problems():
+    probs = []
+    for k in range(6):
+        prob = SchedulingProblem(processors=["cpu0", "cpu1", "gpu"])
+        prob.add_task(
+            "render", [(("gpu",), 2.0 + k), (("cpu0", "cpu1"), 5.0)]
+        )
+        prob.add_task("encode", [(("cpu0",), 3.0), (("cpu1",), 3.0)])
+        prob.add_task("mix", [(("cpu1",), 1.0), (("gpu",), 4.0)])
+        probs.append(prob)
+    return probs
+
+
+class TestDispatch:
+    def test_matches_solve_on_problems(self, problems):
+        """solve() and the hypergraph-level dispatch agree exactly."""
+        for prob in problems:
+            for method in ("auto", "SGH", "EVG", "exhaustive"):
+                via_solve = solve(prob, method=method)
+                direct = solve_hypergraph(
+                    prob.to_hypergraph(), method=method
+                )
+                assert via_solve.makespan == direct.makespan
+                assert np.array_equal(
+                    via_solve.matching.hedge_of_task, direct.hedge_of_task
+                )
+
+    def test_bipartite_lift_unsorted_hedges(self):
+        """The lift maps CSR edges to hyperedges even when hyperedges are
+        not task-major."""
+        hg = TaskHypergraph.from_hyperedges(
+            2, 2, [1, 0, 1, 0], [[0], [1], [1], [0]], [2.0, 1.0, 3.0, 4.0]
+        )
+        m = solve_hypergraph(hg, method="sorted-greedy")
+        assert hg.hedge_task[m.hedge_of_task[0]] == 0
+        assert hg.hedge_task[m.hedge_of_task[1]] == 1
+
+    def test_unknown_method(self, instances):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve_hypergraph(instances[0], method="quantum")
+
+
+class TestBatchEquality:
+    @pytest.mark.parametrize("executor,workers", [
+        ("serial", 1), ("thread", 3), ("process", 2),
+    ])
+    def test_pool_matches_sequential_solve(
+        self, instances, executor, workers
+    ):
+        sequential = [solve_hypergraph(hg) for hg in instances]
+        engine = BatchSolver(
+            max_workers=workers, executor=executor, cache=False
+        )
+        batched = engine.solve_many(instances)
+        assert [m.makespan for m in batched] == [
+            m.makespan for m in sequential
+        ]
+        for a, b in zip(batched, sequential):
+            assert np.array_equal(a.hedge_of_task, b.hedge_of_task)
+
+    def test_problems_yield_schedules(self, problems):
+        engine = BatchSolver(max_workers=1, cache=False)
+        out = engine.solve_many(problems)
+        assert all(isinstance(s, Schedule) for s in out)
+        for prob, s in zip(problems, out):
+            assert s.makespan == solve(prob).makespan
+
+    def test_mixed_inputs_keep_order_and_types(self, problems, instances):
+        mixed = [problems[0], instances[0], problems[1]]
+        out = solve_many(mixed, max_workers=1, cache=False)
+        assert isinstance(out[0], Schedule)
+        assert not isinstance(out[1], Schedule)
+        assert isinstance(out[2], Schedule)
+
+    def test_empty_batch(self):
+        assert BatchSolver(cache=False).solve_many([]) == []
+
+    def test_empty_problem(self):
+        prob = SchedulingProblem(processors=["a"])
+        (s,) = BatchSolver(max_workers=1, cache=False).solve_many([prob])
+        assert s.makespan == 0.0
+
+    def test_rejects_bad_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            BatchSolver(executor="fiber")
+
+    def test_rejects_bad_instance_type(self):
+        with pytest.raises(TypeError, match="SchedulingProblem"):
+            BatchSolver(cache=False).solve_many([object()])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers,chunk", [(1, None), (3, 1), (4, 4)])
+    def test_fixed_seed_across_pool_sizes(self, instances, workers, chunk):
+        """Pool layout never changes what is computed, even for the
+        randomised method."""
+        reference = BatchSolver(
+            max_workers=1, executor="serial", cache=False
+        ).solve_many(instances, method="grasp", seed=5)
+        engine = BatchSolver(
+            max_workers=workers,
+            executor="thread",
+            chunk_size=chunk,
+            cache=False,
+        )
+        out = engine.solve_many(instances, method="grasp", seed=5)
+        for a, b in zip(out, reference):
+            assert np.array_equal(a.hedge_of_task, b.hedge_of_task)
+
+
+class TestPortfolio:
+    def test_never_worse_than_any_constituent(self, instances):
+        for hg in instances:
+            port = solve_portfolio(hg, seed=3)
+            for entry in ("SGH", "VGH", "EGH", "EVG"):
+                single = solve_hypergraph(hg, method=entry)
+                assert port.makespan <= single.makespan
+
+    def test_matches_best_constituent(self, instances):
+        """With a line-up of deterministic algorithms, the portfolio
+        returns exactly the minimum of their makespans."""
+        lineup = ("SGH", "VGH", "EGH", "EVG")
+        for hg in instances:
+            port = solve_portfolio(hg, algorithms=lineup)
+            best = min(
+                solve_hypergraph(hg, method=e).makespan for e in lineup
+            )
+            assert port.makespan == best
+
+    def test_solve_method_portfolio(self, problems):
+        for prob in problems:
+            port = solve(prob, method="portfolio")
+            assert port.makespan <= solve(prob).makespan
+
+    def test_batch_portfolio(self, instances):
+        engine = BatchSolver(max_workers=3, executor="thread", cache=False)
+        out = engine.solve_many(instances, method="portfolio")
+        for hg, m in zip(instances, out):
+            assert m.makespan == solve_portfolio(hg).makespan
+
+    def test_ls_suffix_refines(self, instances):
+        for hg in instances:
+            base = solve_hypergraph(hg, method="SGH")
+            refined = solve_portfolio(hg, algorithms=("SGH+ls",))
+            assert refined.makespan <= base.makespan
+
+    def test_rejects_empty_lineup(self, instances):
+        with pytest.raises(ValueError, match="at least one"):
+            solve_portfolio(instances[0], algorithms=())
+
+    def test_rejects_unknown_entry(self, instances):
+        with pytest.raises(ValueError, match="unknown portfolio entry"):
+            solve_portfolio(instances[0], algorithms=("quantum",))
+
+    def test_explicit_method_beats_engine_default_portfolio(self, instances):
+        """A per-call method override must not be shadowed by an
+        engine-level portfolio default."""
+        hg = instances[0]
+        engine = BatchSolver(
+            max_workers=1, portfolio=DEFAULT_PORTFOLIO, cache=False
+        )
+        (via_engine,) = engine.solve_many([hg], method="SGH")
+        plain = solve_hypergraph(hg, method="SGH")
+        assert np.array_equal(via_engine.hedge_of_task, plain.hedge_of_task)
+        # without a per-call method, the default portfolio does apply
+        (defaulted,) = engine.solve_many([hg])
+        assert defaulted.makespan == solve_portfolio(hg).makespan
+
+    def test_default_portfolio_names_resolve(self, instances):
+        # the advertised default line-up must actually run
+        m = solve_portfolio(
+            instances[0], algorithms=DEFAULT_PORTFOLIO, seed=1
+        )
+        assert m.makespan > 0
+
+
+class TestCache:
+    def test_hit_returns_identical_result(self, instances):
+        cache = ResultCache()
+        engine = BatchSolver(max_workers=1, cache=cache)
+        first = engine.solve_many(instances)
+        second = engine.solve_many(instances)
+        assert cache.hits == len(instances)
+        assert cache.misses == len(instances)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.hedge_of_task, b.hedge_of_task)
+
+    def test_hit_returns_identical_schedule(self, problems):
+        cache = ResultCache()
+        engine = BatchSolver(max_workers=1, cache=cache)
+        (first,) = engine.solve_many([problems[0]])
+        (second,) = engine.solve_many([problems[0]])
+        assert cache.hits == 1
+        assert isinstance(second, Schedule)
+        assert second.makespan == first.makespan
+        assert second.allocation() == first.allocation()
+
+    def test_structurally_equal_instances_share_entries(self, problems):
+        """Digest keying: a rebuilt hypergraph hits the same entry."""
+        cache = ResultCache()
+        engine = BatchSolver(max_workers=1, cache=cache)
+        hg = problems[0].to_hypergraph()
+        engine.solve_many([hg])
+        engine.solve_many([problems[0].to_hypergraph()])
+        assert cache.hits == 1
+        assert instance_digest(hg) == instance_digest(
+            problems[0].to_hypergraph()
+        )
+
+    def test_method_and_options_separate_entries(self, instances):
+        cache = ResultCache()
+        engine = BatchSolver(max_workers=1, cache=cache)
+        hg = instances[0]
+        engine.solve_many([hg], method="SGH")
+        engine.solve_many([hg], method="EVG")
+        engine.solve_many([hg], method="SGH", refine=True)
+        assert cache.hits == 0
+        assert len(cache) == 3
+
+    def test_dedup_within_one_batch_is_safe(self, instances):
+        hg = instances[0]
+        engine = BatchSolver(max_workers=1, cache=ResultCache())
+        a, b = engine.solve_many([hg, hg])
+        assert np.array_equal(a.hedge_of_task, b.hedge_of_task)
+
+    def test_lru_eviction(self, instances):
+        cache = ResultCache(maxsize=2)
+        engine = BatchSolver(max_workers=1, cache=cache)
+        engine.solve_many(instances[:3])
+        assert len(cache) == 2
+
+    def test_clear(self, instances):
+        cache = ResultCache()
+        engine = BatchSolver(max_workers=1, cache=cache)
+        engine.solve_many(instances[:2])
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class TestRunnerIntegration:
+    def test_engine_matches_sequential_runner(self):
+        specs = SMALL_SPECS[:1]
+        engine = BatchSolver(
+            max_workers=2, executor="thread", cache=ResultCache()
+        )
+        seq = run_instances(specs, n_seeds=2, algorithms=("SGH", "EVG"))
+        eng = run_instances(
+            specs, n_seeds=2, algorithms=("SGH", "EVG"), engine=engine
+        )
+        assert seq.rows[0].makespan == eng.rows[0].makespan
+        assert seq.rows[0].quality == eng.rows[0].quality
+
+    def test_max_workers_shorthand_keeps_timing_honest(self):
+        """run_instances(max_workers=...) must not feed (or feed from)
+        the process-wide cache: a repeat run would report cache-hit
+        times as the paper's 'Average time' row."""
+        from repro.engine import default_cache
+
+        specs = SMALL_SPECS[:1]
+        before = default_cache().stats()
+        run_instances(
+            specs, n_seeds=1, algorithms=("SGH",), max_workers=1
+        )
+        assert default_cache().stats() == before
+
+    def test_resweep_hits_cache(self):
+        specs = SMALL_SPECS[:1]
+        cache = ResultCache()
+        engine = BatchSolver(max_workers=1, cache=cache)
+        run_instances(specs, n_seeds=2, algorithms=("SGH",), engine=engine)
+        assert cache.hits == 0
+        run_instances(specs, n_seeds=2, algorithms=("SGH",), engine=engine)
+        assert cache.hits == 2

@@ -15,7 +15,7 @@ from repro.algorithms import (
 from repro.core import BipartiteGraph, InfeasibleError, SolverError
 from repro.generators import fig3_family
 
-from conftest import bipartite_graphs, random_bipartite
+from strategies import bipartite_graphs, random_bipartite
 
 
 class TestExactBasics:

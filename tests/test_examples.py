@@ -50,6 +50,14 @@ def test_certificates_and_kernels():
     assert "dominated dropped" in out
 
 
+def test_batch_portfolio_small():
+    out = run_example("batch_portfolio.py", "8", "2")
+    assert "solve_many(portfolio)" in out
+    assert "never worse" in out
+    assert "re-sweep from cache" in out
+    assert "8 hits" in out
+
+
 @pytest.mark.slow
 def test_cluster_scheduling_small():
     out = run_example("cluster_scheduling.py", "160", "32")

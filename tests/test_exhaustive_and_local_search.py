@@ -14,7 +14,7 @@ from repro.algorithms import (
 )
 from repro.core import HyperSemiMatching, SolverError, TaskHypergraph
 
-from conftest import random_hypergraph, task_hypergraphs
+from strategies import random_hypergraph, task_hypergraphs
 
 
 def brute_force_makespan(hg: TaskHypergraph) -> float:

@@ -20,7 +20,7 @@ from repro.generators import (
     fig3_family,
 )
 
-from conftest import bipartite_graphs
+from strategies import bipartite_graphs
 
 ALL_GREEDIES = [basic_greedy, sorted_greedy, double_sorted, expected_greedy]
 

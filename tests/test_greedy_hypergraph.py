@@ -15,7 +15,7 @@ from repro.algorithms import (
 from repro.core import TaskHypergraph
 from repro.core.errors import InfeasibleError
 
-from conftest import task_hypergraphs
+from strategies import task_hypergraphs
 
 ALL_HYP = [
     sorted_greedy_hyp,

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 
 from repro.core import BipartiteGraph, GraphStructureError, TaskHypergraph
 
-from conftest import task_hypergraphs
+from strategies import task_hypergraphs
 
 
 class TestConstruction:

@@ -14,7 +14,7 @@ from repro.algorithms import (
 )
 from repro.core import BipartiteGraph, SolverError, TaskHypergraph
 
-from conftest import task_hypergraphs
+from strategies import task_hypergraphs
 
 
 class TestAveragedWork:

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 
 from repro.core import BipartiteGraph, GraphStructureError
 
-from conftest import bipartite_graphs
+from strategies import bipartite_graphs
 
 
 class TestBipartiteRoundtrip:

@@ -15,7 +15,7 @@ from repro.algorithms import (
 from repro.core import GraphStructureError, InfeasibleError, TaskHypergraph
 from repro.generators import generate_multiproc
 
-from conftest import task_hypergraphs
+from strategies import task_hypergraphs
 
 
 class TestOnlineScheduler:

@@ -28,7 +28,7 @@ from repro.core.validation import (
 )
 from repro.generators import generate_multiproc
 
-from conftest import task_hypergraphs
+from strategies import task_hypergraphs
 
 UNIQUE_HYP_ALGOS = ("SGH", "VGH", "EGH", "EVG")
 

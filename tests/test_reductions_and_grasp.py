@@ -15,7 +15,7 @@ from repro.algorithms import (
 from repro.core import InfeasibleError, TaskHypergraph
 from repro.core.validation import assert_valid_hyper_semi_matching
 
-from conftest import task_hypergraphs
+from strategies import task_hypergraphs
 
 
 class TestPreprocess:

@@ -20,7 +20,7 @@ from repro.core.validation import (
     makespan_hypergraph,
 )
 
-from conftest import task_hypergraphs
+from strategies import task_hypergraphs
 
 
 @pytest.fixture
