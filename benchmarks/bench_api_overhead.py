@@ -1,0 +1,100 @@
+"""Registry-dispatch overhead: the unified API must cost ~nothing.
+
+The API redesign replaced two direct name->callable dicts with the
+capability-aware registry, expression parsing and options
+normalization.  This benchmark pins down what that layer costs per
+solve and asserts it stays negligible:
+
+* ``direct``    — ``expected_vector_greedy_hyp(hg)``, the old
+  dict-lookup path (lookup itself was ~free);
+* ``dispatch``  — ``solve_hypergraph(hg, method="EVG")``: parse +
+  normalize + resolve + evaluate;
+* ``engine``    — the full ``BatchSolver.solve`` path producing a
+  ``SolveResult`` (uncached, serial).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_api_overhead.py -v
+
+No pytest-benchmark dependency: plain perf_counter loops with
+min-of-repeats, so the file runs anywhere the test suite runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms import expected_vector_greedy_hyp
+from repro.engine import BatchSolver, solve_hypergraph
+from repro.generators import generate_multiproc
+
+N_CALLS = 50
+REPEATS = 5
+
+#: Per-call dispatch overhead budget.  Resolution is a couple of dict
+#: hits and one small object graph; even on a loaded CI box it should
+#: stay far below a millisecond.
+MAX_OVERHEAD_S = 1e-3
+#: And on a realistically-sized instance the whole API layer must stay
+#: a small fraction of the actual solve.
+MAX_RELATIVE_OVERHEAD = 0.5
+
+
+def _instance():
+    return generate_multiproc(
+        200, 16, family="fewgmanyg", g=2, dv=4, dh=5,
+        weights="related", seed=0,
+    )
+
+
+def _best_of(fn, *args) -> float:
+    """Min-of-repeats mean seconds per call (robust to CI jitter)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for _ in range(N_CALLS):
+            fn(*args)
+        best = min(best, (time.perf_counter() - t0) / N_CALLS)
+    return best
+
+
+def test_dispatch_overhead_is_negligible():
+    hg = _instance()
+
+    t_direct = _best_of(expected_vector_greedy_hyp, hg)
+    t_dispatch = _best_of(
+        lambda h: solve_hypergraph(h, method="EVG"), hg
+    )
+
+    overhead = t_dispatch - t_direct
+    print(
+        f"\ndirect={t_direct * 1e6:.1f}us  "
+        f"dispatch={t_dispatch * 1e6:.1f}us  "
+        f"overhead={overhead * 1e6:.1f}us/call"
+    )
+    assert overhead < MAX_OVERHEAD_S, (
+        f"registry dispatch adds {overhead * 1e6:.1f}us/call "
+        f"(budget {MAX_OVERHEAD_S * 1e6:.0f}us)"
+    )
+    assert t_dispatch < t_direct * (1 + MAX_RELATIVE_OVERHEAD), (
+        f"dispatch path is {t_dispatch / t_direct:.2f}x the direct call"
+    )
+
+
+def test_full_engine_path_overhead_is_bounded():
+    hg = _instance()
+    engine = BatchSolver(max_workers=1, executor="serial", cache=False)
+
+    t_direct = _best_of(expected_vector_greedy_hyp, hg)
+    t_engine = _best_of(lambda h: engine.solve(h, method="EVG"), hg)
+
+    overhead = t_engine - t_direct
+    print(
+        f"\ndirect={t_direct * 1e6:.1f}us  "
+        f"engine={t_engine * 1e6:.1f}us  "
+        f"overhead={overhead * 1e6:.1f}us/call"
+    )
+    # the engine adds SolveResult construction and batch plumbing on
+    # top of dispatch; still well under a millisecond per call
+    assert overhead < 2 * MAX_OVERHEAD_S, (
+        f"engine path adds {overhead * 1e6:.1f}us/call "
+        f"(budget {2 * MAX_OVERHEAD_S * 1e6:.0f}us)"
+    )

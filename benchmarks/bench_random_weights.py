@@ -8,16 +8,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms.registry import get_hypergraph_algorithm
+from repro.api import get_registry
 from repro.experiments.runner import DEFAULT_ALGOS
 
 from conftest import SEEDS, bench_specs, cached_instance, cached_lower_bound
 
 
+
+def _hyp_algo(name):
+    """Resolve a MULTIPROC solver through the unified registry."""
+    return get_registry().resolve(name, domain="hypergraph").fn
+
+
 @pytest.mark.parametrize("algo", DEFAULT_ALGOS)
 @pytest.mark.parametrize("spec", bench_specs(), ids=lambda s: s.name)
 def test_random_weight_quality(benchmark, spec, algo):
-    fn = get_hypergraph_algorithm(algo)
+    fn = _hyp_algo(algo)
     hg = cached_instance(spec.name, "random", 0)
 
     matching = benchmark(fn, hg)
@@ -45,8 +51,8 @@ def test_ranking_under_random_weights(benchmark, spec):
     (e.g. [1, 3]).  We therefore record both medians rather than assert
     the paper's ordering, and only sanity-bound the gap.
     """
-    sgh = get_hypergraph_algorithm("SGH")
-    evg = get_hypergraph_algorithm("EVG")
+    sgh = _hyp_algo("SGH")
+    evg = _hyp_algo("EVG")
 
     def both():
         inst = cached_instance(spec.name, "random", 0)

@@ -12,8 +12,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms.registry import get_hypergraph_algorithm
+from repro.api import get_registry
 from repro.generators import generate_multiproc
+
+
+def _hyp_algo(name):
+    """Resolve a MULTIPROC solver through the unified registry."""
+    return get_registry().resolve(name, domain="hypergraph").fn
+
 
 SIZES = [(320, 64), (1280, 256), (5120, 1024)]
 
@@ -26,7 +32,7 @@ def test_heuristic_scaling(benchmark, algo, size):
         n, p, family="fewgmanyg", g=32, dv=5, dh=10,
         weights="related", seed=0,
     )
-    fn = get_hypergraph_algorithm(algo)
+    fn = _hyp_algo(algo)
 
     m = benchmark(fn, hg)
 

@@ -17,9 +17,15 @@ import os
 import numpy as np
 import pytest
 
-from repro.algorithms.registry import get_bipartite_algorithm
+from repro.api import get_registry
 from repro.algorithms.exact_unit import exact_singleproc_unit
 from repro.experiments.singleproc import GREEDY_NAMES, SingleProcSpec
+
+
+def _bip_algo(name):
+    """Resolve a SINGLEPROC solver through the unified registry."""
+    return get_registry().resolve(name, domain="bipartite").fn
+
 
 SCALE = os.environ.get("SEMIMATCH_BENCH_SCALE", "small")
 _SIZES = {
@@ -55,7 +61,7 @@ def _specs():
 @pytest.mark.parametrize("spec", _specs(), ids=lambda s: s.name)
 def test_greedy_quality_vs_exact(benchmark, spec, algo):
     graph = spec.generate(0)
-    fn = get_bipartite_algorithm(algo)
+    fn = _bip_algo(algo)
 
     matching = benchmark(fn, graph)
 
@@ -86,8 +92,8 @@ def test_expected_beats_basic_on_hilo(benchmark):
         name="HLF-5-1-SP", family="hilo", g=32, n=1280, p=256, d=10
     )
     graph = spec.generate(0)
-    basic = get_bipartite_algorithm("basic-greedy")
-    expected = get_bipartite_algorithm("expected-greedy")
+    basic = _bip_algo("basic-greedy")
+    expected = _bip_algo("expected-greedy")
 
     def both():
         return basic(graph).makespan, expected(graph).makespan

@@ -15,11 +15,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms.registry import get_hypergraph_algorithm
+from repro.api import get_registry
 from repro.experiments.instances import PAPER_TABLE2
 from repro.experiments.runner import DEFAULT_ALGOS
 
 from conftest import SEEDS, bench_specs, cached_instance, cached_lower_bound
+
+
+def _hyp_algo(name):
+    """Resolve a MULTIPROC solver through the unified registry."""
+    return get_registry().resolve(name, domain="hypergraph").fn
+
 
 _ALGO_COLUMN = {a: i + 1 for i, a in enumerate(DEFAULT_ALGOS)}
 
@@ -27,7 +33,7 @@ _ALGO_COLUMN = {a: i + 1 for i, a in enumerate(DEFAULT_ALGOS)}
 @pytest.mark.parametrize("algo", DEFAULT_ALGOS)
 @pytest.mark.parametrize("spec", bench_specs(), ids=lambda s: s.name)
 def test_unweighted_quality(benchmark, spec, algo):
-    fn = get_hypergraph_algorithm(algo)
+    fn = _hyp_algo(algo)
     hg = cached_instance(spec.name, "unit", 0)
 
     matching = benchmark(fn, hg)

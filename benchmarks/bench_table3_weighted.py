@@ -13,11 +13,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms.registry import get_hypergraph_algorithm
+from repro.api import get_registry
 from repro.experiments.instances import PAPER_TABLE3
 from repro.experiments.runner import DEFAULT_ALGOS
 
 from conftest import SEEDS, bench_specs, cached_instance, cached_lower_bound
+
+
+def _hyp_algo(name):
+    """Resolve a MULTIPROC solver through the unified registry."""
+    return get_registry().resolve(name, domain="hypergraph").fn
+
 
 _ALGO_COLUMN = {a: i + 1 for i, a in enumerate(DEFAULT_ALGOS)}
 
@@ -25,7 +31,7 @@ _ALGO_COLUMN = {a: i + 1 for i, a in enumerate(DEFAULT_ALGOS)}
 @pytest.mark.parametrize("algo", DEFAULT_ALGOS)
 @pytest.mark.parametrize("spec", bench_specs(), ids=lambda s: s.name)
 def test_weighted_quality(benchmark, spec, algo):
-    fn = get_hypergraph_algorithm(algo)
+    fn = _hyp_algo(algo)
     hg = cached_instance(spec.name, "related", 0)
 
     matching = benchmark(fn, hg)
@@ -53,8 +59,8 @@ def test_weighted_quality(benchmark, spec, algo):
 def test_expected_strategy_helps_on_weights(benchmark, spec):
     """Table III's headline: median EGH quality <= median SGH quality
     (with slack for sampling noise) on related-weight instances."""
-    sgh = get_hypergraph_algorithm("SGH")
-    egh = get_hypergraph_algorithm("EGH")
+    sgh = _hyp_algo("SGH")
+    egh = _hyp_algo("EGH")
 
     def both():
         inst = cached_instance(spec.name, "related", 0)

@@ -77,15 +77,23 @@ def main() -> None:
     ]))
     print(f"mean quality (makespan / lower bound): {mean_q:.3f}")
 
+    # --- SolveResult provenance: who actually won the races? ----------
+    wins: dict[str, int] = {}
+    for m in results:
+        wins[m.winner] = wins.get(m.winner, 0) + 1
+    print("portfolio winners: "
+          + "  ".join(f"{k}={v}" for k, v in sorted(wins.items())))
+
     # --- repeated sweeps hit the result cache -------------------------
     cache = ResultCache()
-    engine = BatchSolver(
+    with BatchSolver(
         max_workers=workers, method="portfolio", cache=cache
-    )
-    engine.solve_many(workload)          # cold: computes and fills
-    t0 = time.perf_counter()
-    again = engine.solve_many(workload)  # warm: pure cache hits
-    dt_cached = time.perf_counter() - t0
+    ) as engine:
+        engine.solve_many(workload)          # cold: computes and fills
+        t0 = time.perf_counter()
+        again = engine.solve_many(workload)  # warm: pure cache hits
+        dt_cached = time.perf_counter() - t0
+    assert all(m.cache_hit for m in again)
     assert [m.makespan for m in again] == [m.makespan for m in results]
     print(f"re-sweep from cache: {dt_cached:.3f}s "
           f"({cache.hits} hits, {cache.misses} misses)")

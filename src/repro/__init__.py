@@ -32,6 +32,10 @@ Package map
 * :mod:`repro.core` — graphs, hypergraphs, semi-matching results;
 * :mod:`repro.matching` — maximum bipartite matching engines;
 * :mod:`repro.algorithms` — exact solvers, heuristics, bounds;
+* :mod:`repro.api` — the unified solver API: the capability-aware
+  ``SolverRegistry`` + ``register_solver``, typed ``SolveOptions`` /
+  ``SolveResult``, and composable method expressions
+  (``Refine``/``Portfolio``/``parse_method``);
 * :mod:`repro.generators` — random families, worst cases, X3C;
 * :mod:`repro.sched` — named scheduling problems and ``solve``;
 * :mod:`repro.engine` — batch solving: ``BatchSolver``/``solve_many``
@@ -59,6 +63,17 @@ from .algorithms.lower_bounds import (
     averaged_work_bound,
     combined_bound,
     critical_task_bound,
+)
+from .api import (
+    Portfolio,
+    Refine,
+    SolveOptions,
+    SolveResult,
+    SolverRegistry,
+    UnknownSolverError,
+    get_registry,
+    parse_method,
+    register_solver,
 )
 from .core import (
     BipartiteGraph,
@@ -94,6 +109,16 @@ __all__ = [
     "TaskSpec",
     "Schedule",
     "solve",
+    # unified solver API
+    "SolveOptions",
+    "SolveResult",
+    "SolverRegistry",
+    "register_solver",
+    "get_registry",
+    "Refine",
+    "Portfolio",
+    "parse_method",
+    "UnknownSolverError",
     # batch engine
     "BatchSolver",
     "ResultCache",

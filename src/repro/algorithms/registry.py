@@ -1,9 +1,26 @@
-"""Name-indexed registries of the semi-matching algorithms.
+"""DEPRECATED name-indexed registries — thin shims over :mod:`repro.api`.
 
-The experiment runner, CLI and benchmarks refer to algorithms by the short
-names the paper uses in its tables (SGH, VGH, EGH, EVG) or by their full
-names.  Both registries map a name to a callable taking the instance as
-the single positional argument and returning a matching object.
+The two name→callable dicts and their getters predate the unified
+capability-aware registry.  They are kept importable so downstream code
+keeps working, but each emits a :class:`DeprecationWarning` (once per
+process) pointing at the replacement:
+
+===============================  =====================================
+old                              new
+===============================  =====================================
+``BIPARTITE_ALGORITHMS``         ``get_registry().query(domain="bipartite")``
+``HYPERGRAPH_ALGORITHMS``        ``get_registry().query(domain="hypergraph")``
+``get_bipartite_algorithm(n)``   ``get_registry().resolve(n, domain="bipartite")``
+``get_hypergraph_algorithm(n)``  ``get_registry().resolve(n, domain="hypergraph")``
+===============================  =====================================
+
+The dict views are *snapshots* generated from the live registry at
+access time; mutating them does not register a solver — use
+:func:`repro.api.register_solver` for that.
+
+Internal ``repro`` code must not import this module: the test suite
+escalates ``DeprecationWarning`` raised from ``repro.*`` modules to an
+error (see ``filterwarnings`` in pyproject.toml).
 """
 
 from __future__ import annotations
@@ -13,20 +30,6 @@ from typing import Callable
 from ..core.bipartite import BipartiteGraph
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching, SemiMatching
-from .exact_unit import exact_singleproc_unit
-from .greedy_bipartite import (
-    basic_greedy,
-    double_sorted,
-    expected_greedy,
-    sorted_greedy,
-)
-from .greedy_hypergraph import (
-    expected_greedy_hyp,
-    expected_vector_greedy_hyp,
-    sorted_greedy_hyp,
-    vector_greedy_hyp,
-)
-from .harvey import harvey_optimal_semi_matching
 
 __all__ = [
     "BIPARTITE_ALGORITHMS",
@@ -36,54 +39,82 @@ __all__ = [
 ]
 
 
-def _exact(graph: BipartiteGraph) -> SemiMatching:
-    return exact_singleproc_unit(graph).matching
+def _legacy_dict(domain: str) -> dict[str, Callable]:
+    """A name→callable snapshot of one domain of the live registry,
+    including aliases (the historical dicts listed both spellings)."""
+    from ..api import get_registry
+
+    out: dict[str, Callable] = {}
+    for spec in get_registry().query(domain=domain):
+        if spec.needs_seed:  # historical dicts held unary callables
+            continue
+        # historical membership: the bipartite dict had no oracle rows
+        # beyond 'exact'/'harvey'; keep whatever is registered today so
+        # new solvers show up here too
+        out[spec.name] = spec.fn
+        for alias in spec.aliases:
+            out[alias] = spec.fn
+    return out
 
 
-BIPARTITE_ALGORITHMS: dict[str, Callable[[BipartiteGraph], SemiMatching]] = {
-    "basic-greedy": basic_greedy,
-    "sorted-greedy": sorted_greedy,
-    "double-sorted": double_sorted,
-    "expected-greedy": expected_greedy,
-    "exact": _exact,
-    "harvey": harvey_optimal_semi_matching,
-}
+def __getattr__(name: str):
+    from ..api._deprecation import warn_once
 
-HYPERGRAPH_ALGORITHMS: dict[
-    str, Callable[[TaskHypergraph], HyperSemiMatching]
-] = {
-    "SGH": sorted_greedy_hyp,
-    "VGH": vector_greedy_hyp,
-    "EGH": expected_greedy_hyp,
-    "EVG": expected_vector_greedy_hyp,
-    "sorted-greedy-hyp": sorted_greedy_hyp,
-    "vector-greedy-hyp": vector_greedy_hyp,
-    "expected-greedy-hyp": expected_greedy_hyp,
-    "expected-vector-greedy-hyp": expected_vector_greedy_hyp,
-}
+    if name == "BIPARTITE_ALGORITHMS":
+        warn_once(
+            "algorithms.registry.BIPARTITE_ALGORITHMS",
+            "BIPARTITE_ALGORITHMS is deprecated; query the solver "
+            "registry instead: repro.api.get_registry()"
+            '.query(domain="bipartite")',
+        )
+        return _legacy_dict("bipartite")
+    if name == "HYPERGRAPH_ALGORITHMS":
+        warn_once(
+            "algorithms.registry.HYPERGRAPH_ALGORITHMS",
+            "HYPERGRAPH_ALGORITHMS is deprecated; query the solver "
+            "registry instead: repro.api.get_registry()"
+            '.query(domain="hypergraph")',
+        )
+        return _legacy_dict("hypergraph")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def get_bipartite_algorithm(
     name: str,
 ) -> Callable[[BipartiteGraph], SemiMatching]:
-    """Look up a SINGLEPROC algorithm by name."""
-    try:
-        return BIPARTITE_ALGORITHMS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown bipartite algorithm {name!r}; "
-            f"available: {sorted(BIPARTITE_ALGORITHMS)}"
-        ) from None
+    """DEPRECATED: look up a SINGLEPROC algorithm by name.
+
+    Use ``repro.api.get_registry().resolve(name, domain="bipartite")``.
+    """
+    from ..api import get_registry
+    from ..api._deprecation import warn_once
+
+    warn_once(
+        "algorithms.registry.get_bipartite_algorithm",
+        "get_bipartite_algorithm() is deprecated; use repro.api."
+        'get_registry().resolve(name, domain="bipartite").fn',
+    )
+    return get_registry().resolve(
+        name, domain="bipartite", context="bipartite algorithm"
+    ).fn
 
 
 def get_hypergraph_algorithm(
     name: str,
 ) -> Callable[[TaskHypergraph], HyperSemiMatching]:
-    """Look up a MULTIPROC algorithm by name (paper abbreviations work)."""
-    try:
-        return HYPERGRAPH_ALGORITHMS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown hypergraph algorithm {name!r}; "
-            f"available: {sorted(HYPERGRAPH_ALGORITHMS)}"
-        ) from None
+    """DEPRECATED: look up a MULTIPROC algorithm by name (paper
+    abbreviations work).
+
+    Use ``repro.api.get_registry().resolve(name, domain="hypergraph")``.
+    """
+    from ..api import get_registry
+    from ..api._deprecation import warn_once
+
+    warn_once(
+        "algorithms.registry.get_hypergraph_algorithm",
+        "get_hypergraph_algorithm() is deprecated; use repro.api."
+        'get_registry().resolve(name, domain="hypergraph").fn',
+    )
+    return get_registry().resolve(
+        name, domain="hypergraph", context="hypergraph algorithm"
+    ).fn

@@ -1,0 +1,55 @@
+"""Warn-once helper for the API's deprecation shims.
+
+Every legacy entry point kept alive by this PR funnels through
+:func:`warn_once`, so a long-running process logs each migration hint a
+single time instead of on every call.  The gating set is keyed by shim
+name; tests reset it via :func:`_reset_warned` to assert the
+exactly-once contract in isolation.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+__all__ = ["warn_once"]
+
+_WARNED: set[str] = set()
+
+#: Frames belonging to the shim machinery itself; the warning must be
+#: attributed to the first frame *outside* these, so the
+#: ``error::DeprecationWarning:repro...`` filter in pyproject makes any
+#: internal repro caller fail loudly while external callers (tests,
+#: downstream code) just see the hint.
+_SKIP_PREFIXES = ("repro.algorithms", "repro.api")
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` on its first use only.
+
+    The warning is attributed to the nearest caller outside the shim
+    modules (module ``__getattr__`` chains add a variable number of
+    frames, so the depth is computed, not hard-coded).
+    """
+    if key in _WARNED:
+        return
+    # mark before warning: under -W error the raised warning still counts
+    # as the one emission, keeping the contract deterministic
+    _WARNED.add(key)
+    level = 1
+    while True:
+        try:
+            mod = sys._getframe(level).f_globals.get("__name__", "")
+        except ValueError:  # pragma: no cover - ran off the stack
+            break
+        if not mod.startswith(_SKIP_PREFIXES):
+            break
+        level += 1
+    # stacklevel is relative to the warnings.warn() call: 1 == here,
+    # level frames up == the first non-shim caller
+    warnings.warn(message, DeprecationWarning, stacklevel=level + 1)
+
+
+def _reset_warned() -> None:
+    """Forget every emitted warning (test helper)."""
+    _WARNED.clear()

@@ -1,0 +1,59 @@
+"""Errors raised by the solver API.
+
+Historically the registry getters raised :class:`KeyError` while the
+dispatch chain raised :class:`ValueError` for the very same mistake (a
+method name nobody registered).  :class:`UnknownSolverError` unifies the
+two: it derives from *both*, so every pre-existing ``except`` clause and
+``pytest.raises`` pattern keeps working, and it carries a did-you-mean
+suggestion plus the full list of known methods.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+__all__ = ["UnknownSolverError", "CapabilityError"]
+
+
+class UnknownSolverError(KeyError, ValueError):
+    """A method/solver name that no registered solver answers to.
+
+    Attributes
+    ----------
+    name:
+        The name that failed to resolve.
+    suggestions:
+        Close matches from the registry (difflib), best first.
+    known:
+        Every name the registry would have accepted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        known: list[str] | tuple[str, ...] = (),
+        context: str = "method",
+    ):
+        self.name = name
+        self.known = list(known)
+        self.suggestions = difflib.get_close_matches(
+            str(name), self.known, n=3, cutoff=0.5
+        )
+        hint = (
+            f" (did you mean {', '.join(map(repr, self.suggestions))}?)"
+            if self.suggestions
+            else ""
+        )
+        self.message = (
+            f"unknown {context} {name!r}{hint}; known: {self.known}"
+        )
+        super().__init__(self.message)
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.message
+
+
+class CapabilityError(ValueError):
+    """A registered solver was asked to run outside its capabilities
+    (e.g. a SINGLEPROC algorithm on a problem with parallel tasks)."""

@@ -1,0 +1,428 @@
+"""Composable method expressions: ``Solver``, ``Refine``, ``Portfolio``,
+``Auto`` — plus the string parser that keeps ``"EVG+ls"`` and every CLI
+name working.
+
+A *method expression* is a small immutable tree describing **how** to
+solve an instance:
+
+>>> Refine("EVG")                       # EVG, then local search
+>>> Portfolio("SGH", Refine("EVG"))     # race, keep the best makespan
+>>> parse_method("portfolio(SGH,EVG+ls)")  # the same thing, from a string
+
+Expressions compare equal by canonical form, so the parsed and the
+hand-built spelling of a method are interchangeable — in solver options,
+in cache keys, and in test assertions.
+
+Evaluation reproduces the historical dispatch exactly: ``Auto`` is the
+registry query for the instance's trait (exact algorithm for
+SINGLEPROC-UNIT, the paper's recommended heuristic otherwise), bipartite
+solvers are lifted through :meth:`TaskHypergraph.to_bipartite`, portfolio
+ties keep the earliest entry, and local-search refinement is skipped when
+auto-selection already produced an optimal matching.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching
+from .errors import CapabilityError
+from .registry import SolverRegistry, SolverSpec, get_registry
+
+__all__ = [
+    "MethodExpr",
+    "Solver",
+    "Refine",
+    "Portfolio",
+    "Auto",
+    "AUTO",
+    "parse_method",
+    "EntryStat",
+    "EvalContext",
+    "Outcome",
+    "evaluate",
+]
+
+
+# ---------------------------------------------------------------------------
+# evaluation plumbing
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvalContext:
+    """Everything an expression needs at evaluation time."""
+
+    registry: SolverRegistry
+    seed: int = 0
+    deadline: float | None = None  # perf_counter() deadline, or None
+
+
+@dataclass(frozen=True)
+class EntryStat:
+    """Per-entry provenance of one portfolio race."""
+
+    method: str
+    makespan: float
+    time_s: float
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """An evaluated expression: the matching plus provenance.
+
+    ``refine_noop`` marks results a local-search pass cannot improve
+    (the matching is already optimal), letting :class:`Refine` skip the
+    pass — this mirrors the historical early return of ``method="auto"``
+    on SINGLEPROC-UNIT instances.
+    """
+
+    matching: HyperSemiMatching
+    winner: str | None
+    refine_noop: bool = False
+    entries: tuple[EntryStat, ...] | None = None
+
+
+def _lift_bipartite(
+    hg: TaskHypergraph, spec: SolverSpec, seed: int
+) -> HyperSemiMatching:
+    """Run a bipartite solver on a SINGLEPROC hypergraph.
+
+    ``hg.to_bipartite()`` feeds the hyperedges to
+    :meth:`BipartiteGraph.from_edges` in hyperedge order, whose stable
+    CSR build maps CSR edge ``j`` back to hyperedge
+    ``argsort(hedge_task, stable)[j]``.
+    """
+    graph = hg.to_bipartite()
+    sm = spec.run(graph, seed=seed)
+    edge_to_hedge = np.argsort(hg.hedge_task, kind="stable")
+    return HyperSemiMatching(hg, edge_to_hedge[sm.edge_of_task])
+
+
+def _instance_trait(hg: TaskHypergraph) -> str:
+    shape = "bipartite" if hg.is_bipartite_graph() else "hypergraph"
+    weights = "unit" if hg.is_unit else "weighted"
+    return f"{shape}:{weights}"
+
+
+def _run_spec(
+    hg: TaskHypergraph, spec: SolverSpec, seed: int
+) -> HyperSemiMatching:
+    if spec.domain == "bipartite":
+        if not hg.is_bipartite_graph():
+            raise CapabilityError(
+                f"{spec.name!r} is a SINGLEPROC algorithm but the problem "
+                "has parallel tasks"
+            )
+        return _lift_bipartite(hg, spec, seed)
+    return spec.run(hg, seed=seed)
+
+
+def evaluate(
+    hg: TaskHypergraph, expr: "MethodExpr", ctx: EvalContext
+) -> Outcome:
+    """Evaluate ``expr`` on ``hg`` (the engine's unit of work)."""
+    if hg.n_tasks == 0:
+        empty = HyperSemiMatching(hg, np.empty(0, dtype=np.int64))
+        return Outcome(empty, winner=None, refine_noop=True)
+    return expr._evaluate(hg, ctx)
+
+
+# ---------------------------------------------------------------------------
+# the expression tree
+# ---------------------------------------------------------------------------
+class MethodExpr:
+    """Base class of all method expressions.
+
+    Expressions are immutable, picklable (they travel to pool workers
+    inside :class:`~repro.api.SolveOptions`), and compare equal by
+    canonical string — ``parse_method("EVG+ls") == Refine("EVG")``.
+    """
+
+    __slots__ = ()
+
+    def canonical(self) -> str:
+        raise NotImplementedError
+
+    def resolved(
+        self, registry: SolverRegistry, *, context: str = "method"
+    ) -> "MethodExpr":
+        """A copy with every solver name resolved to its primary
+        spelling (raises :class:`UnknownSolverError` on a bad name)."""
+        raise NotImplementedError
+
+    def is_randomized(self, registry: SolverRegistry) -> bool:
+        """Whether evaluation depends on the seed (drives cache keys)."""
+        raise NotImplementedError
+
+    def _evaluate(self, hg: TaskHypergraph, ctx: EvalContext) -> Outcome:
+        raise NotImplementedError
+
+    # canonical-form equality: the parsed and constructed spellings of a
+    # method are the same method
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MethodExpr):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash((MethodExpr, self.canonical()))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.canonical()!r})"
+
+
+def _coerce(entry) -> "MethodExpr":
+    if isinstance(entry, MethodExpr):
+        return entry
+    if isinstance(entry, str):
+        return parse_method(entry)
+    raise TypeError(
+        f"method expressions are built from strings or MethodExpr, "
+        f"got {type(entry).__name__}"
+    )
+
+
+class Solver(MethodExpr):
+    """A single registered solver, referenced by any accepted name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", str(name))
+
+    def __setattr__(self, *_):  # pragma: no cover - defensive
+        raise AttributeError("method expressions are immutable")
+
+    def __reduce__(self):  # __slots__ + immutability: rebuild via ctor
+        return (Solver, (self.name,))
+
+    def canonical(self) -> str:
+        return self.name
+
+    def resolved(self, registry, *, context="method"):
+        return Solver(registry.resolve(self.name, context=context).name)
+
+    def is_randomized(self, registry) -> bool:
+        return registry.resolve(self.name).is_randomized
+
+    def _evaluate(self, hg, ctx):
+        spec = ctx.registry.resolve(self.name)
+        return Outcome(
+            _run_spec(hg, spec, ctx.seed),
+            winner=spec.name,
+        )
+
+
+class Refine(MethodExpr):
+    """Evaluate the inner expression, then improve it with
+    :func:`repro.algorithms.local_search` (never worsens the makespan;
+    skipped when the inner result is already optimal)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner):
+        object.__setattr__(self, "inner", _coerce(inner))
+
+    def __setattr__(self, *_):  # pragma: no cover - defensive
+        raise AttributeError("method expressions are immutable")
+
+    def __reduce__(self):
+        return (Refine, (self.inner,))
+
+    def canonical(self) -> str:
+        return f"{self.inner.canonical()}+ls"
+
+    def resolved(self, registry, *, context="method"):
+        return Refine(self.inner.resolved(registry, context=context))
+
+    def is_randomized(self, registry) -> bool:
+        return self.inner.is_randomized(registry)
+
+    def _evaluate(self, hg, ctx):
+        from ..algorithms.local_search import local_search
+
+        outcome = self.inner._evaluate(hg, ctx)
+        if outcome.refine_noop:
+            return outcome
+        return Outcome(
+            local_search(outcome.matching).matching,
+            winner=outcome.winner,
+            entries=outcome.entries,
+        )
+
+
+class Portfolio(MethodExpr):
+    """Race several expressions and keep the best makespan.
+
+    By construction never worse than any single entry; ties keep the
+    earliest entry, so the outcome is deterministic for a fixed line-up
+    and seed.  ``Portfolio()`` (no entries) stands for the registry's
+    :meth:`~repro.api.SolverRegistry.default_portfolio`, filled in when
+    options are normalized.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, *entries):
+        if len(entries) == 1 and not isinstance(
+            entries[0], (str, MethodExpr)
+        ):
+            entries = tuple(entries[0])  # Portfolio(iterable) convenience
+        object.__setattr__(
+            self, "entries", tuple(_coerce(e) for e in entries)
+        )
+
+    def __setattr__(self, *_):  # pragma: no cover - defensive
+        raise AttributeError("method expressions are immutable")
+
+    def __reduce__(self):
+        return (Portfolio, tuple(self.entries))
+
+    def canonical(self) -> str:
+        if not self.entries:
+            return "portfolio"
+        return (
+            "portfolio("
+            + ",".join(e.canonical() for e in self.entries)
+            + ")"
+        )
+
+    def resolved(self, registry, *, context="method"):
+        return Portfolio(
+            *(
+                e.resolved(registry, context="portfolio entry")
+                for e in self.entries
+            )
+        )
+
+    def is_randomized(self, registry) -> bool:
+        return any(e.is_randomized(registry) for e in self.entries)
+
+    def _evaluate(self, hg, ctx):
+        if not self.entries:
+            raise ValueError("portfolio needs at least one algorithm")
+        best: Outcome | None = None
+        best_entry = ""
+        stats: list[EntryStat] = []
+        for entry in self.entries:
+            t0 = time.perf_counter()
+            outcome = entry._evaluate(hg, ctx)
+            dt = time.perf_counter() - t0
+            stats.append(
+                EntryStat(
+                    entry.canonical(), outcome.matching.makespan, dt
+                )
+            )
+            if (
+                best is None
+                or outcome.matching.makespan < best.matching.makespan
+            ):
+                best, best_entry = outcome, entry.canonical()
+            if (
+                ctx.deadline is not None
+                and time.perf_counter() >= ctx.deadline
+            ):
+                break  # time budget spent; keep the best so far
+        return Outcome(
+            best.matching, winner=best_entry, entries=tuple(stats)
+        )
+
+
+class Auto(MethodExpr):
+    """Instance-driven selection: the registry query for the instance's
+    trait (``"bipartite:unit"`` gets the exact polynomial algorithm,
+    everything else the heuristic the paper recommends for its class)."""
+
+    __slots__ = ()
+
+    def __reduce__(self):
+        return (Auto, ())
+
+    def canonical(self) -> str:
+        return "auto"
+
+    def resolved(self, registry, *, context="method"):
+        return self
+
+    def is_randomized(self, registry) -> bool:
+        return any(
+            s.is_randomized for s in registry if s.recommended_for
+        )
+
+    def _evaluate(self, hg, ctx):
+        spec = ctx.registry.recommended(_instance_trait(hg))
+        return Outcome(
+            _run_spec(hg, spec, ctx.seed),
+            winner=spec.name,
+            # an exact auto-pick is already optimal: Refine skips it
+            refine_noop="exact" in spec.capabilities,
+        )
+
+
+#: The shared ``Auto()`` instance (expressions are stateless).
+AUTO = Auto()
+
+
+# ---------------------------------------------------------------------------
+# the string parser
+# ---------------------------------------------------------------------------
+def _split_top_level(body: str) -> list[str]:
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(body):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(body[start:i])
+            start = i + 1
+    parts.append(body[start:])
+    return parts
+
+
+def parse_method(text: str) -> MethodExpr:
+    """Parse a method string into its expression.
+
+    Accepted forms (composable)::
+
+        "EVG"                        -> Solver("EVG")
+        "EVG+ls"                     -> Refine(Solver("EVG"))
+        "auto"                       -> Auto()
+        "portfolio"                  -> Portfolio()        (default line-up)
+        "portfolio(SGH,EVG+ls)"      -> Portfolio("SGH", Refine("EVG"))
+
+    Solver names are *not* validated here (the parser has no registry);
+    resolution happens when options are normalized, which is also where
+    unknown names get their did-you-mean error.
+    """
+    if isinstance(text, MethodExpr):
+        return text
+    if not isinstance(text, str):
+        raise TypeError(
+            f"method must be a string or MethodExpr, got "
+            f"{type(text).__name__}"
+        )
+    s = text.strip()
+    if not s:
+        raise ValueError("method string is empty")
+    if s == "auto":
+        return AUTO
+    if s == "portfolio":
+        return Portfolio()
+    if s.startswith("portfolio(") and s.endswith(")"):
+        body = s[len("portfolio(") : -1].strip()
+        if not body:
+            return Portfolio()
+        return Portfolio(*(parse_method(p) for p in _split_top_level(body)))
+    if s.endswith("+ls"):
+        return Refine(parse_method(s[: -len("+ls")]))
+    base, sep, suffix = s.rpartition("+")
+    if sep and base and not base.endswith("("):
+        raise ValueError(
+            f"unknown method suffix {suffix!r} in {text!r}; only '+ls' "
+            "(local-search refinement) is supported"
+        )
+    return Solver(s)

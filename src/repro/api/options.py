@@ -1,0 +1,189 @@
+"""Typed, frozen solve options with canonical normalization.
+
+:class:`SolveOptions` is the single request object for every solve path
+(``repro.sched.solve``, ``repro.engine.solve_many``, the experiment
+harness).  It accepts the historical keyword spellings (``method=`` as a
+string, ``refine=``, ``portfolio=`` as a name tuple) and *normalizes*
+them to one canonical :class:`~repro.api.methods.MethodExpr`:
+
+* ``portfolio=`` (or ``method="portfolio"``) becomes a
+  :class:`~repro.api.methods.Portfolio`, defaulting to the registry's
+  generated line-up;
+* ``refine=True`` folds into the expression (``Refine`` around the
+  method, or around every portfolio entry — exactly the historical
+  semantics, including the no-op on the exhaustive oracle);
+* aliases resolve to primary solver names.
+
+Two spellings of the same request therefore normalize to the same
+expression, which is what the engine's cache key hashes — ``"EVG+ls"``,
+``method="EVG", refine=True`` and ``Refine("EVG")`` share one cache
+entry.  The seed enters the key only for seed-sensitive (randomized)
+expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Union
+
+from .methods import (
+    MethodExpr,
+    Portfolio,
+    Refine,
+    Solver,
+    parse_method,
+)
+from .registry import SolverRegistry, get_registry
+
+__all__ = ["SolveOptions"]
+
+MethodLike = Union[str, MethodExpr]
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Everything that determines *how* an instance is solved.
+
+    Parameters
+    ----------
+    method:
+        A method name, method string (``"EVG+ls"``,
+        ``"portfolio(SGH,grasp)"``) or :class:`MethodExpr`.
+    refine:
+        Post-process with local search (folded into the expression on
+        normalization; never worsens the makespan).
+    seed:
+        Seed for randomized methods; deterministic methods ignore it.
+    portfolio:
+        Legacy spelling: a tuple of entry names/expressions races them
+        and keeps the best makespan, overriding ``method``.  ``None``
+        means "no portfolio requested" (an empty tuple is an error).
+    time_budget:
+        Wall-clock budget in seconds for portfolio races: once spent, no
+        further entries start (at least one always runs).  ``None``
+        disables the budget.  Budgeted portfolio results depend on
+        machine speed and are therefore excluded from result caching
+        only through the key (the budget is part of it).
+    """
+
+    method: MethodLike = "auto"
+    refine: bool = False
+    seed: int = 0
+    portfolio: tuple[MethodLike, ...] | None = None
+    time_budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.method, (str, MethodExpr)):
+            raise TypeError(
+                "method must be a string or MethodExpr, got "
+                f"{type(self.method).__name__}"
+            )
+        if self.portfolio is not None:
+            if isinstance(self.portfolio, (str, MethodExpr)):
+                raise TypeError(
+                    "portfolio must be a sequence of entries, not a "
+                    "single method; wrap it in a tuple"
+                )
+            object.__setattr__(self, "portfolio", tuple(self.portfolio))
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        object.__setattr__(self, "seed", int(self.seed))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_normalized(self) -> bool:
+        return (
+            isinstance(self.method, MethodExpr)
+            and self.portfolio is None
+            and not self.refine
+            # an entry-less Portfolio still needs the default line-up
+            and not (
+                isinstance(self.method, Portfolio)
+                and not self.method.entries
+            )
+        )
+
+    def expression(
+        self, registry: SolverRegistry | None = None
+    ) -> MethodExpr:
+        """The canonical expression this request denotes."""
+        registry = registry if registry is not None else get_registry()
+        expr = parse_method(self.method)
+        if self.portfolio is not None:
+            # legacy precedence: an explicit portfolio wins over method
+            if len(self.portfolio) == 0:
+                raise ValueError("portfolio needs at least one algorithm")
+            expr = Portfolio(*self.portfolio)
+        if isinstance(expr, Portfolio):
+            entries = expr.entries or tuple(
+                parse_method(name)
+                for name in registry.default_portfolio()
+            )
+            if self.refine:
+                entries = tuple(Refine(e) for e in entries)
+            expr = Portfolio(*entries)
+        elif self.refine:
+            skip = False
+            if isinstance(expr, Solver):
+                spec = registry.resolve(expr.name)
+                # refining the exhaustive oracle is pointless by
+                # construction (result already optimal); historical
+                # dispatch skipped it, so normalization does too
+                skip = (
+                    spec.domain == "hypergraph"
+                    and "exact" in spec.capabilities
+                )
+            if not skip:
+                expr = Refine(expr)
+        return expr.resolved(registry)
+
+    def normalized(
+        self, registry: SolverRegistry | None = None
+    ) -> "SolveOptions":
+        """Canonical form: ``refine``/``portfolio`` folded into one
+        resolved :class:`MethodExpr`.  Idempotent."""
+        if self.is_normalized:
+            expr = self.method.resolved(
+                registry if registry is not None else get_registry()
+            )
+            if expr is self.method:
+                return self
+            return replace(self, method=expr)
+        return replace(
+            self,
+            method=self.expression(registry),
+            refine=False,
+            portfolio=None,
+        )
+
+    def cache_token(
+        self, registry: SolverRegistry | None = None
+    ) -> tuple:
+        """The options' contribution to the engine cache key.
+
+        Canonical method string, plus the seed only when the expression
+        is seed-sensitive, plus the time budget only when set.
+        """
+        registry = registry if registry is not None else get_registry()
+        # resolve even pre-normalized expressions: an alias-built
+        # MethodExpr must key identically to its primary-name spelling
+        expr = (
+            self.method.resolved(registry)
+            if self.is_normalized
+            else self.expression(registry)
+        )
+        return (
+            expr.canonical(),
+            self.seed if expr.is_randomized(registry) else None,
+            self.time_budget,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable form."""
+        expr = self.expression()
+        bits = [expr.canonical()]
+        if expr.is_randomized(get_registry()):
+            bits.append(f"seed={self.seed}")
+        if self.time_budget is not None:
+            bits.append(f"time_budget={self.time_budget:g}s")
+        return " ".join(bits)

@@ -2,20 +2,25 @@
 
 * :class:`BatchSolver` / :func:`solve_many` — solve many instances
   concurrently on a process or thread pool, with chunked distribution;
-* portfolio mode — race several registry algorithms per instance and
+  every solve returns a rich :class:`~repro.api.SolveResult`;
+* portfolio mode — race several registered algorithms per instance and
   keep the best makespan;
 * :class:`ResultCache` — content-addressed LRU so repeated sweeps never
   recompute;
 * :func:`solve_hypergraph` — the shared hypergraph-level dispatch that
-  both :func:`repro.sched.solve` and the pool workers execute.
+  both :func:`repro.sched.solve` and the pool workers execute, driven by
+  the :mod:`repro.api` solver registry.
+
+``DEFAULT_PORTFOLIO`` and ``known_methods()`` are generated from the
+registry, so a newly registered solver is instantly usable here.
 """
 
 from .batch import BatchSolver, default_cache, default_engine, solve_many
-from .cache import ResultCache, instance_digest, solve_key
+from .cache import CachedSolve, ResultCache, instance_digest, solve_key
 from .dispatch import (
-    DEFAULT_PORTFOLIO,
     known_methods,
     solve_hypergraph,
+    solve_hypergraph_outcome,
     solve_portfolio,
 )
 
@@ -25,10 +30,21 @@ __all__ = [
     "default_engine",
     "default_cache",
     "ResultCache",
+    "CachedSolve",
     "instance_digest",
     "solve_key",
     "DEFAULT_PORTFOLIO",
     "known_methods",
     "solve_hypergraph",
+    "solve_hypergraph_outcome",
     "solve_portfolio",
 ]
+
+
+def __getattr__(name: str):
+    if name == "DEFAULT_PORTFOLIO":
+        # generated from solver metadata on every access (see dispatch)
+        from . import dispatch
+
+        return dispatch.DEFAULT_PORTFOLIO
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,33 +15,36 @@ instance at a time.  This module turns the same dispatch into an engine:
   repeated sweeps over the same instances (``experiments.sweep``, the
   Table I–III harness) never recompute.
 
-Results come back in input order and are bit-identical to a sequential
-loop over :func:`repro.sched.solve`: workers run the very same
-:func:`repro.engine.dispatch.solve_hypergraph`, all methods are
-deterministic for a fixed ``seed``, and the pool layout (worker count,
-chunk size, executor kind) can only change *where* an instance is solved,
-never *what* is computed.
+Every solve returns a :class:`~repro.api.SolveResult`: the matching
+(bit-identical to a sequential loop over the underlying algorithms — the
+workers run the very same expression evaluation, all methods are
+deterministic for a fixed ``seed``, and the pool layout only changes
+*where* an instance is solved, never *what* is computed), the named
+:class:`~repro.sched.schedule.Schedule` view for problem inputs, and
+provenance: winning solver, wall time, cache-hit flag, per-entry
+portfolio statistics.  Results come back in input order.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence, Union
 
-import numpy as np
-
+from ..api.methods import EntryStat, Outcome
+from ..api.options import SolveOptions
+from ..api.result import SolveResult
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching
 from ..sched.model import SchedulingProblem
 from ..sched.schedule import Schedule
-from .cache import ResultCache, solve_key
-from .dispatch import solve_hypergraph
+from .cache import ResultCache, instance_digest
+from .dispatch import solve_hypergraph_outcome
 
 __all__ = ["BatchSolver", "solve_many", "default_engine", "default_cache"]
 
 Instance = Union[SchedulingProblem, TaskHypergraph]
-Solved = Union[Schedule, HyperSemiMatching]
 
 _EXECUTORS = ("process", "thread", "serial")
 
@@ -57,19 +60,35 @@ def default_cache() -> ResultCache:
     return _DEFAULT_CACHE
 
 
-def _solve_chunk(
-    hgs: list[TaskHypergraph], opts: dict
-) -> list[np.ndarray]:
-    """Worker payload: solve a chunk, return the chosen assignments.
+def _outcome_meta(outcome: Outcome, wall_s: float) -> dict:
+    """Flatten an evaluation outcome to a small, picklable dict."""
+    meta = {"winner": outcome.winner, "time_s": wall_s}
+    if outcome.entries is not None:
+        meta["entries"] = [
+            (e.method, e.makespan, e.time_s) for e in outcome.entries
+        ]
+    return meta
 
-    Returning bare ``hedge_of_task`` arrays (rather than full matchings)
-    keeps the result pickle small; the parent rebuilds — and thereby
-    re-validates — each :class:`HyperSemiMatching` against its own copy
-    of the instance.
+
+def _solve_chunk(
+    hgs: list[TaskHypergraph], options: SolveOptions
+) -> list[tuple]:
+    """Worker payload: solve a chunk, return (assignment, meta) pairs.
+
+    Returning bare ``hedge_of_task`` arrays plus a small provenance dict
+    (rather than full matchings) keeps the result pickle small; the
+    parent rebuilds — and thereby re-validates — each
+    :class:`HyperSemiMatching` against its own copy of the instance.
     """
-    return [
-        solve_hypergraph(hg, **opts).hedge_of_task for hg in hgs
-    ]
+    out = []
+    for hg in hgs:
+        t0 = time.perf_counter()
+        outcome = solve_hypergraph_outcome(hg, options)
+        wall = time.perf_counter() - t0
+        out.append(
+            (outcome.matching.hedge_of_task, _outcome_meta(outcome, wall))
+        )
+    return out
 
 
 class BatchSolver:
@@ -93,10 +112,13 @@ class BatchSolver:
         ``True`` (default) — share the process-wide
         :func:`default_cache`; a :class:`ResultCache` — use that
         instance; ``False``/``None`` — never cache.
-    method, refine, portfolio, seed:
-        Default solve options, overridable per :meth:`solve_many` call.
-        ``portfolio`` (a tuple of registry names, ``"grasp"``,
-        ``"exhaustive"``, optionally suffixed ``"+ls"``) switches an
+    options:
+        Default :class:`~repro.api.SolveOptions`, overridable per
+        :meth:`solve_many` call.
+    method, refine, portfolio, seed, time_budget:
+        Historical field-by-field spelling of ``options`` (ignored when
+        ``options`` is passed).  ``portfolio`` (a tuple of method
+        expressions/names, optionally suffixed ``"+ls"``) switches an
         instance to portfolio mode, as does ``method="portfolio"``.
     """
 
@@ -107,10 +129,12 @@ class BatchSolver:
         executor: str = "process",
         chunk_size: int | None = None,
         cache: ResultCache | bool | None = True,
+        options: SolveOptions | None = None,
         method: str = "auto",
         refine: bool = False,
         portfolio: Sequence[str] | None = None,
         seed: int = 0,
+        time_budget: float | None = None,
     ):
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -132,10 +156,19 @@ class BatchSolver:
             self.cache = None
         else:
             self.cache = cache
-        self.method = method
-        self.refine = refine
-        self.portfolio = tuple(portfolio) if portfolio is not None else None
-        self.seed = seed
+        self.defaults = (
+            options
+            if options is not None
+            else SolveOptions(
+                method=method,
+                refine=refine,
+                portfolio=(
+                    tuple(portfolio) if portfolio is not None else None
+                ),
+                seed=seed,
+                time_budget=time_budget,
+            )
+        )
         self._pool = None  # lazily created, reused across solve_many calls
 
     # ------------------------------------------------------------------
@@ -154,26 +187,34 @@ class BatchSolver:
 
     def _options(
         self,
-        method: str | None,
-        refine: bool | None,
-        portfolio: Sequence[str] | None,
-        seed: int | None,
-    ) -> dict:
+        method,
+        refine,
+        portfolio,
+        seed,
+        time_budget,
+        options: SolveOptions | None,
+    ) -> SolveOptions:
+        if options is not None:
+            return options
+        d = self.defaults
         # The engine-level portfolio default only applies when the call
         # names no strategy at all: an explicit per-call ``method`` must
-        # win (dispatch gives portfolio precedence over method, so
-        # inheriting self.portfolio here would silently shadow it).
+        # win (normalization gives portfolio precedence over method, so
+        # inheriting the default portfolio here would silently shadow it).
         if portfolio is None and method is None:
-            portfolio = self.portfolio
-        return {
-            "method": method if method is not None else self.method,
-            "refine": refine if refine is not None else self.refine,
-            "portfolio": tuple(portfolio) if portfolio is not None else None,
-            "seed": seed if seed is not None else self.seed,
-        }
+            portfolio = d.portfolio
+        return SolveOptions(
+            method=method if method is not None else d.method,
+            refine=refine if refine is not None else d.refine,
+            portfolio=tuple(portfolio) if portfolio is not None else None,
+            seed=seed if seed is not None else d.seed,
+            time_budget=(
+                time_budget if time_budget is not None else d.time_budget
+            ),
+        )
 
     # ------------------------------------------------------------------
-    def solve(self, instance: Instance, **overrides) -> Solved:
+    def solve(self, instance: Instance, **overrides) -> SolveResult:
         """Solve one instance (serial fast path; still cached)."""
         return self.solve_many([instance], **overrides)[0]
 
@@ -185,29 +226,38 @@ class BatchSolver:
         refine: bool | None = None,
         portfolio: Sequence[str] | None = None,
         seed: int | None = None,
-    ) -> list[Solved]:
+        time_budget: float | None = None,
+        options: SolveOptions | None = None,
+    ) -> list[SolveResult]:
         """Solve every instance; results come back in input order.
 
-        :class:`SchedulingProblem` inputs yield :class:`Schedule` results,
-        :class:`TaskHypergraph` inputs yield :class:`HyperSemiMatching`.
+        Every result is a :class:`~repro.api.SolveResult`;
+        :class:`SchedulingProblem` inputs additionally carry their
+        :class:`Schedule` view in ``result.schedule``.
         """
-        opts = self._options(method, refine, portfolio, seed)
+        opts = self._options(
+            method, refine, portfolio, seed, time_budget, options
+        ).normalized()
+        token = opts.cache_token()
         pairs = [self._coerce(x) for x in instances]
-        results: list[HyperSemiMatching | None] = [None] * len(pairs)
+        results: list[SolveResult | None] = [None] * len(pairs)
 
         # 1. serve what the cache already knows
         keys: list[tuple | None] = [None] * len(pairs)
         pending: list[int] = []
         for i, (_, hg) in enumerate(pairs):
             if self.cache is not None:
-                key = solve_key(
-                    hg, opts["method"], opts["refine"], opts["portfolio"],
-                    opts["seed"],
-                )
+                key = (instance_digest(hg), *token)
                 keys[i] = key
                 hit = self.cache.get(key)
                 if hit is not None:
-                    results[i] = HyperSemiMatching(hg, hit)
+                    results[i] = self._result(
+                        hg,
+                        hit.assignment,
+                        hit.meta,
+                        opts,
+                        cache_hit=True,
+                    )
                     continue
             pending.append(i)
 
@@ -219,27 +269,75 @@ class BatchSolver:
                 or len(pending) == 1
             ):
                 for i in pending:
-                    results[i] = solve_hypergraph(pairs[i][1], **opts)
+                    t0 = time.perf_counter()
+                    outcome = solve_hypergraph_outcome(pairs[i][1], opts)
+                    wall = time.perf_counter() - t0
+                    results[i] = SolveResult(
+                        matching=outcome.matching,
+                        options=opts,
+                        winner=outcome.winner,
+                        wall_time_s=wall,
+                        portfolio=outcome.entries,
+                    )
             else:
                 self._solve_pooled(pairs, pending, opts, results)
             if self.cache is not None:
                 for i in pending:
-                    results[i] = _checked(results[i])
-                    self.cache.put(keys[i], results[i].hedge_of_task)
+                    res = _checked(results[i])
+                    self.cache.put(
+                        keys[i],
+                        res.matching.hedge_of_task,
+                        {
+                            "winner": res.winner,
+                            "entries": (
+                                [
+                                    (e.method, e.makespan, e.time_s)
+                                    for e in res.portfolio
+                                ]
+                                if res.portfolio is not None
+                                else None
+                            ),
+                        },
+                    )
 
-        return [
-            Schedule(problem, _checked(matching)) if problem is not None
-            else _checked(matching)
-            for (problem, _), matching in zip(pairs, results)
-        ]
+        out = []
+        for (problem, _), result in zip(pairs, results):
+            result = _checked(result)
+            if problem is not None:
+                result.schedule = Schedule(problem, result.matching)
+            out.append(result)
+        return out
 
     # ------------------------------------------------------------------
+    def _result(
+        self,
+        hg: TaskHypergraph,
+        assignment,
+        meta: dict,
+        opts: SolveOptions,
+        *,
+        cache_hit: bool = False,
+    ) -> SolveResult:
+        entries = meta.get("entries")
+        return SolveResult(
+            matching=HyperSemiMatching(hg, assignment),
+            options=opts,
+            winner=meta.get("winner"),
+            wall_time_s=0.0 if cache_hit else meta.get("time_s", 0.0),
+            cache_hit=cache_hit,
+            portfolio=(
+                tuple(EntryStat(*e) for e in entries)
+                if entries
+                else None
+            ),
+        )
+
     def _solve_pooled(
         self,
         pairs: list[tuple[SchedulingProblem | None, TaskHypergraph]],
         pending: list[int],
-        opts: dict,
-        results: list[HyperSemiMatching | None],
+        opts: SolveOptions,
+        results: list[SolveResult | None],
     ) -> None:
         n_workers = min(self.max_workers, len(pending))
         chunk = self.chunk_size or -(-len(pending) // (4 * n_workers))
@@ -252,8 +350,8 @@ class BatchSolver:
             for idxs in chunks
         ]
         for idxs, future in zip(chunks, futures):
-            for i, assignment in zip(idxs, future.result()):
-                results[i] = HyperSemiMatching(pairs[i][1], assignment)
+            for i, (assignment, meta) in zip(idxs, future.result()):
+                results[i] = self._result(pairs[i][1], assignment, meta, opts)
 
     def _ensure_pool(self):
         """The solver's executor, created once and reused.
@@ -286,9 +384,9 @@ class BatchSolver:
         self.close()
 
 
-def _checked(matching: HyperSemiMatching | None) -> HyperSemiMatching:
-    assert matching is not None  # every index is cached or pending
-    return matching
+def _checked(result: SolveResult | None) -> SolveResult:
+    assert result is not None  # every index is cached or pending
+    return result
 
 
 def solve_many(
@@ -298,11 +396,13 @@ def solve_many(
     refine: bool = False,
     portfolio: Sequence[str] | None = None,
     seed: int = 0,
+    time_budget: float | None = None,
+    options: SolveOptions | None = None,
     max_workers: int | None = None,
     executor: str = "process",
     chunk_size: int | None = None,
     cache: ResultCache | bool | None = True,
-) -> list[Solved]:
+) -> list[SolveResult]:
     """One-call batch solve (see :class:`BatchSolver` for the knobs).
 
     >>> from repro import SchedulingProblem, solve_many
@@ -314,21 +414,26 @@ def solve_many(
     >>> [s.makespan for s in solve_many(probs, max_workers=1)]
     [1.0, 2.0, 2.0]
     """
-    engine = BatchSolver(
+    with BatchSolver(
         max_workers=max_workers,
         executor=executor,
         chunk_size=chunk_size,
         cache=cache,
+        options=options,
         method=method,
         refine=refine,
         portfolio=portfolio,
         seed=seed,
-    )
-    return engine.solve_many(instances)
+        time_budget=time_budget,
+    ) as engine:
+        # the pool is private to this call, so shut it down eagerly
+        # rather than leaving it to the interpreter-exit hooks
+        return engine.solve_many(instances)
 
 
 def default_engine() -> BatchSolver:
-    """The lazily-created engine behind :func:`repro.sched.solve`.
+    """The lazily-created engine behind :func:`repro.sched.solve` and
+    :func:`repro.api.solve`.
 
     Serial (single-instance calls gain nothing from a pool) but sharing
     the process-wide result cache, so ``solve()`` calls, batch runs and

@@ -6,13 +6,19 @@ they were built (``from_configurations``, ``to_hypergraph``, JSON
 round-trip, ...).  The cached value is the chosen ``hedge_of_task``
 assignment — small, picklable, and enough to reconstruct an identical
 :class:`~repro.core.semimatching.HyperSemiMatching` against any equal
-instance.
+instance — plus the result's provenance metadata (winning solver,
+portfolio statistics), so cache hits return fully populated
+:class:`~repro.api.SolveResult` objects.
 
-A cache entry is only valid for the exact solver options it was computed
-under, so the full key is ``(instance digest, method, refine, portfolio,
-seed)``.  The cache is a bounded LRU and is thread-safe; the default
-shared instance lives in :mod:`repro.engine.batch` so repeated sweeps
-(``experiments.sweep``, the Table I–III harness) never recompute.
+A cache entry is only valid for the exact request it was computed under,
+so the full key is ``(instance digest, canonical options token)``.  The
+token comes from :meth:`SolveOptions.cache_token`: the *canonical method
+expression* (aliases resolved, ``refine`` folded in), the seed only when
+the expression is seed-sensitive, and the time budget.  Equivalent
+spellings — ``method="EVG", refine=True`` vs ``"EVG+ls"`` — therefore
+share one entry.  The cache is a bounded LRU and is thread-safe; the
+default shared instance lives in :mod:`repro.engine.batch` so repeated
+sweeps (``experiments.sweep``, the Table I–III harness) never recompute.
 """
 
 from __future__ import annotations
@@ -20,12 +26,14 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
+from ..api.options import SolveOptions
 from ..core.hypergraph import TaskHypergraph
 
-__all__ = ["ResultCache", "instance_digest", "solve_key"]
+__all__ = ["CachedSolve", "ResultCache", "instance_digest", "solve_key"]
 
 
 def instance_digest(hg: TaskHypergraph) -> str:
@@ -46,34 +54,49 @@ def instance_digest(hg: TaskHypergraph) -> str:
 
 def solve_key(
     hg: TaskHypergraph,
-    method: str,
-    refine: bool,
-    portfolio: tuple[str, ...] | None,
-    seed: int,
+    method: str | None = None,
+    refine: bool = False,
+    portfolio: Sequence[str] | None = None,
+    seed: int = 0,
+    *,
+    options: SolveOptions | None = None,
 ) -> tuple:
-    """The full cache key for solving ``hg`` under these options."""
-    return (
-        instance_digest(hg),
-        method,
-        bool(refine),
-        tuple(portfolio) if portfolio is not None else None,
-        int(seed),
-    )
+    """The full cache key for solving ``hg`` under these options.
+
+    Pass a prepared :class:`SolveOptions` via ``options=`` (preferred)
+    or the historical positional fields; both canonicalize identically.
+    """
+    if options is None:
+        options = SolveOptions(
+            method=method if method is not None else "auto",
+            refine=refine,
+            portfolio=tuple(portfolio) if portfolio is not None else None,
+            seed=seed,
+        )
+    return (instance_digest(hg), *options.cache_token())
+
+
+class CachedSolve(NamedTuple):
+    """One cache hit: the assignment plus its provenance metadata."""
+
+    assignment: np.ndarray
+    meta: dict
 
 
 class ResultCache:
     """Bounded, thread-safe LRU cache of solve results.
 
     Values are ``hedge_of_task`` arrays (stored and returned as copies, so
-    neither side can mutate the other's view).  ``hits``/``misses`` make
-    cache effectiveness observable in benchmarks and sweeps.
+    neither side can mutate the other's view) plus a small provenance
+    dict.  ``hits``/``misses`` make cache effectiveness observable in
+    benchmarks and sweeps.
     """
 
     def __init__(self, maxsize: int = 4096):
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self.maxsize = maxsize
-        self._data: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._data: OrderedDict[tuple, CachedSolve] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -81,8 +104,8 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def get(self, key: tuple) -> np.ndarray | None:
-        """The cached assignment for ``key``, or None (counts a miss)."""
+    def get(self, key: tuple) -> CachedSolve | None:
+        """The cached solve for ``key``, or None (counts a miss)."""
         with self._lock:
             try:
                 value = self._data[key]
@@ -91,11 +114,18 @@ class ResultCache:
                 return None
             self._data.move_to_end(key)
             self.hits += 1
-            return value.copy()
+            return CachedSolve(
+                value.assignment.copy(), dict(value.meta)
+            )
 
-    def put(self, key: tuple, assignment: np.ndarray) -> None:
-        """Store an assignment, evicting the least recently used entry."""
-        value = np.ascontiguousarray(assignment, dtype=np.int64).copy()
+    def put(
+        self, key: tuple, assignment: np.ndarray, meta: dict | None = None
+    ) -> None:
+        """Store an assignment (+ provenance), evicting the LRU entry."""
+        value = CachedSolve(
+            np.ascontiguousarray(assignment, dtype=np.int64).copy(),
+            dict(meta) if meta else {},
+        )
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)

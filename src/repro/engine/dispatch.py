@@ -1,40 +1,42 @@
-"""Hypergraph-level solve dispatch: the single place that turns a
-:class:`~repro.core.hypergraph.TaskHypergraph` plus a method name into a
-:class:`~repro.core.semimatching.HyperSemiMatching`.
+"""Hypergraph-level solve dispatch, driven by the solver registry.
 
 Both the user-facing :func:`repro.sched.solve` and the batch engine's
 worker processes call :func:`solve_hypergraph`, so sequential and pooled
-solving are guaranteed to agree bit-for-bit.  The dispatch rules mirror
-the paper's Section IV structure:
+solving are guaranteed to agree bit-for-bit.  Since the unified API
+landed, this module is a thin execution shim: method strings parse into
+:class:`~repro.api.MethodExpr` trees (``Solver``/``Refine``/
+``Portfolio``/``Auto``), options normalize into a canonical
+:class:`~repro.api.SolveOptions`, and evaluation walks the expression
+against the capability-aware registry — the old if/elif chains are gone.
 
-* ``method="auto"`` — SINGLEPROC-UNIT instances get the exact polynomial
-  algorithm; everything else gets the strongest heuristic the paper
-  recommends for its weight class (EVG for weighted hypergraphs, VGH for
-  unit hypergraphs, expected/sorted greedy for bipartite);
-* any registry name (``"SGH"``, ``"EVG"``, ``"sorted-greedy"``, ...)
-  forces that algorithm;
-* ``method="grasp"`` runs the multi-start metaheuristic (slowest, best);
-* ``method="exhaustive"`` runs the branch-and-bound oracle (tiny
-  instances only);
-* ``method="portfolio"`` races several algorithms and keeps the best
-  makespan (see :func:`solve_portfolio`).
+Dispatch semantics (unchanged, now registry queries):
 
-Everything here operates on hypergraphs only — SINGLEPROC instances are
-recognised structurally (:meth:`TaskHypergraph.is_bipartite_graph`) and
-lifted through the bipartite algorithms, which keeps the worker payload
-free of the named :class:`~repro.sched.model.SchedulingProblem` layer.
+* ``method="auto"`` — the registry's recommended solver for the
+  instance trait: SINGLEPROC-UNIT instances get the exact polynomial
+  algorithm, everything else the strongest heuristic the paper
+  recommends for its weight class (EVG weighted, VGH unit,
+  expected-greedy bipartite);
+* any registered name or alias (``"SGH"``, ``"EVG"``,
+  ``"sorted-greedy"``, ...) forces that solver; bipartite solvers are
+  lifted and guarded against MULTIPROC instances;
+* composable strings work everywhere: ``"EVG+ls"``,
+  ``"portfolio(SGH,grasp)"``;
+* ``method="portfolio"`` races the generated default line-up and keeps
+  the best makespan (see :func:`solve_portfolio`).
+
+``known_methods()`` and ``DEFAULT_PORTFOLIO`` are generated from the
+registry — registering a solver makes it instantly available here, in
+portfolio mode, in sweeps and in the CLI.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import time
+from typing import Sequence
 
-from ..algorithms.exhaustive import exhaustive_multiproc
-from ..algorithms.local_search import local_search
-from ..algorithms.registry import (
-    BIPARTITE_ALGORITHMS,
-    HYPERGRAPH_ALGORITHMS,
-)
+from ..api.methods import EvalContext, Outcome, evaluate
+from ..api.options import SolveOptions
+from ..api.registry import get_registry
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching
 
@@ -42,49 +44,46 @@ __all__ = [
     "DEFAULT_PORTFOLIO",
     "known_methods",
     "solve_hypergraph",
+    "solve_hypergraph_outcome",
     "solve_portfolio",
 ]
 
-#: Portfolio raced by ``method="portfolio"`` when no explicit line-up is
-#: given: the paper's four hypergraph greedies, EVG with local-search
-#: refinement, and GRASP.  ``"<name>+ls"`` means "run <name>, then refine
-#: with local search".
-DEFAULT_PORTFOLIO = ("SGH", "VGH", "EGH", "EVG", "EVG+ls", "grasp")
-
 
 def known_methods() -> list[str]:
-    """Every name :func:`solve_hypergraph` accepts."""
-    return sorted(
-        {"auto", "exhaustive", "grasp", "portfolio"}
-        | set(HYPERGRAPH_ALGORITHMS)
-        | set(BIPARTITE_ALGORITHMS)
+    """Every name :func:`solve_hypergraph` accepts (registry-generated)."""
+    return get_registry().known_methods()
+
+
+def __getattr__(name: str):
+    # DEFAULT_PORTFOLIO is generated from solver metadata on every
+    # access, so solvers registered at runtime join the line-up without
+    # any dispatch edits.
+    if name == "DEFAULT_PORTFOLIO":
+        return get_registry().default_portfolio()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _context(options: SolveOptions) -> EvalContext:
+    deadline = (
+        time.perf_counter() + options.time_budget
+        if options.time_budget is not None
+        else None
+    )
+    return EvalContext(
+        registry=get_registry(), seed=options.seed, deadline=deadline
     )
 
 
-def _empty(hg: TaskHypergraph) -> HyperSemiMatching:
-    return HyperSemiMatching(hg, np.empty(0, dtype=np.int64))
+def solve_hypergraph_outcome(
+    hg: TaskHypergraph, options: SolveOptions
+) -> Outcome:
+    """Evaluate normalized ``options`` on ``hg``, with provenance.
 
-
-def _lift_bipartite(hg: TaskHypergraph, name: str) -> HyperSemiMatching:
-    """Run a bipartite algorithm on a SINGLEPROC hypergraph.
-
-    ``hg.to_bipartite()`` feeds the hyperedges to
-    :meth:`BipartiteGraph.from_edges` in hyperedge order, whose stable CSR
-    build maps CSR edge ``j`` back to hyperedge
-    ``argsort(hedge_task, stable)[j]``.
+    The engine's unit of work: returns the matching plus the winning
+    solver and per-entry portfolio statistics.
     """
-    graph = hg.to_bipartite()
-    sm = BIPARTITE_ALGORITHMS[name](graph)
-    edge_to_hedge = np.argsort(hg.hedge_task, kind="stable")
-    return HyperSemiMatching(hg, edge_to_hedge[sm.edge_of_task])
-
-
-def _require_singleproc(hg: TaskHypergraph, method: str) -> None:
-    if not hg.is_bipartite_graph():
-        raise ValueError(
-            f"{method!r} is a SINGLEPROC algorithm but the problem "
-            "has parallel tasks"
-        )
+    options = options.normalized()
+    return evaluate(hg, options.method, _context(options))
 
 
 def solve_hypergraph(
@@ -92,108 +91,43 @@ def solve_hypergraph(
     *,
     method: str = "auto",
     refine: bool = False,
-    portfolio: tuple[str, ...] | None = None,
+    portfolio: Sequence[str] | None = None,
     seed: int = 0,
 ) -> HyperSemiMatching:
-    """Solve one hypergraph instance; the engine's unit of work.
+    """Solve one hypergraph instance and return the bare matching.
 
     ``refine=True`` post-processes heuristic solutions with
     :func:`repro.algorithms.local_search` (never worsens the makespan).
     ``seed`` only affects the randomised methods (``"grasp"`` and any
     portfolio entry using it); every other method is deterministic.
     """
-    if portfolio is not None or method == "portfolio":
-        return solve_portfolio(
-            hg,
-            algorithms=portfolio if portfolio is not None else DEFAULT_PORTFOLIO,
-            refine=refine,
-            seed=seed,
-        )
-    if hg.n_tasks == 0:
-        return _empty(hg)
-
-    if method == "auto":
-        if hg.is_bipartite_graph() and hg.is_unit:
-            return _lift_bipartite(hg, "exact")
-        if hg.is_bipartite_graph():
-            matching = _lift_bipartite(hg, "expected-greedy")
-        elif hg.is_unit:
-            matching = HYPERGRAPH_ALGORITHMS["VGH"](hg)
-        else:
-            matching = HYPERGRAPH_ALGORITHMS["EVG"](hg)
-    elif method == "exhaustive":
-        matching = exhaustive_multiproc(hg)
-    elif method == "grasp":
-        from ..algorithms.grasp import grasp
-
-        matching = grasp(hg, seed=seed).matching
-    elif method in HYPERGRAPH_ALGORITHMS:
-        matching = HYPERGRAPH_ALGORITHMS[method](hg)
-    elif method in BIPARTITE_ALGORITHMS:
-        _require_singleproc(hg, method)
-        matching = _lift_bipartite(hg, method)
-    else:
-        raise ValueError(
-            f"unknown method {method!r}; known: {known_methods()}"
-        )
-
-    if refine and method != "exhaustive":
-        matching = local_search(matching).matching
-    return matching
-
-
-def _run_portfolio_entry(
-    hg: TaskHypergraph, entry: str, seed: int
-) -> HyperSemiMatching:
-    base, _, suffix = entry.partition("+")
-    if suffix and suffix != "ls":
-        raise ValueError(
-            f"unknown portfolio suffix {suffix!r} in {entry!r}; "
-            "only '+ls' (local-search refinement) is supported"
-        )
-    if base == "grasp":
-        from ..algorithms.grasp import grasp
-
-        matching = grasp(hg, seed=seed).matching
-    elif base == "exhaustive":
-        matching = exhaustive_multiproc(hg)
-    elif base in HYPERGRAPH_ALGORITHMS:
-        matching = HYPERGRAPH_ALGORITHMS[base](hg)
-    elif base in BIPARTITE_ALGORITHMS:
-        _require_singleproc(hg, base)
-        matching = _lift_bipartite(hg, base)
-    else:
-        raise ValueError(
-            f"unknown portfolio entry {entry!r}; entries are registry "
-            f"names, 'grasp' or 'exhaustive', optionally with '+ls'"
-        )
-    if suffix:
-        matching = local_search(matching).matching
-    return matching
+    options = SolveOptions(
+        method=method,
+        refine=refine,
+        portfolio=tuple(portfolio) if portfolio is not None else None,
+        seed=seed,
+    )
+    return solve_hypergraph_outcome(hg, options).matching
 
 
 def solve_portfolio(
     hg: TaskHypergraph,
     *,
-    algorithms: tuple[str, ...] = DEFAULT_PORTFOLIO,
+    algorithms: Sequence[str] | None = None,
     refine: bool = False,
     seed: int = 0,
 ) -> HyperSemiMatching:
     """Race ``algorithms`` on one instance and keep the best makespan.
 
-    By construction the result is never worse than any single constituent
-    algorithm; ties keep the earliest entry, so the outcome is
-    deterministic for a fixed line-up and seed.
+    ``algorithms`` defaults to the registry-generated
+    :data:`DEFAULT_PORTFOLIO`.  By construction the result is never
+    worse than any single constituent algorithm; ties keep the earliest
+    entry, so the outcome is deterministic for a fixed line-up and seed.
     """
-    if not algorithms:
-        raise ValueError("portfolio needs at least one algorithm")
-    if hg.n_tasks == 0:
-        return _empty(hg)
-    best: HyperSemiMatching | None = None
-    for entry in algorithms:
-        matching = _run_portfolio_entry(hg, entry, seed)
-        if refine:
-            matching = local_search(matching).matching
-        if best is None or matching.makespan < best.makespan:
-            best = matching
-    return best
+    lineup = (
+        tuple(algorithms)
+        if algorithms is not None
+        else get_registry().default_portfolio()
+    )
+    options = SolveOptions(portfolio=lineup, refine=refine, seed=seed)
+    return solve_hypergraph_outcome(hg, options).matching

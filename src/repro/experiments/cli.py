@@ -7,6 +7,7 @@ Installed as ``semimatch`` (see pyproject).  Examples::
     semimatch table3 --seeds 5
     semimatch singleproc --d 10 --seeds 3
     semimatch list
+    semimatch solvers
 
 ``--scale`` controls which Table I rows run: ``small`` (n=1280),
 ``medium`` (n<=5120) or ``full`` (all 24 families).  Results print as
@@ -104,11 +105,17 @@ def main(argv: list[str] | None = None) -> int:
     slv.add_argument("path")
     slv.add_argument(
         "--method", default="EVG",
-        help="SGH | VGH | EGH | EVG (hypergraphs); any bipartite "
-             "algorithm name for bipartite instances",
+        help="any registered solver name or method expression "
+             "('EVG', 'EVG+ls', 'portfolio(SGH,grasp)', ...); "
+             "see `semimatch solvers` for the full registry",
     )
     slv.add_argument(
         "--refine", action="store_true", help="post-optimise with local search"
+    )
+
+    subs.add_parser(
+        "solvers",
+        help="list the registered solvers (the capability registry)",
     )
 
     sw = subs.add_parser(
@@ -162,30 +169,48 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    if args.command == "solve":
-        from ..algorithms.local_search import local_search
-        from ..algorithms.lower_bounds import averaged_work_bound
-        from ..algorithms.registry import (
-            BIPARTITE_ALGORITHMS,
-            HYPERGRAPH_ALGORITHMS,
+    if args.command == "solvers":
+        from ..api import get_registry, registry_table
+
+        print(registry_table())
+        print()
+        print(
+            "default portfolio: "
+            + ", ".join(get_registry().default_portfolio())
         )
+        return 0
+
+    if args.command == "solve":
+        from ..algorithms.lower_bounds import averaged_work_bound
+        from ..api import UnknownSolverError, get_registry
         from ..core.bipartite import BipartiteGraph
         from ..io import load_instance
 
         inst = load_instance(args.path)
         if isinstance(inst, BipartiteGraph):
-            fn = BIPARTITE_ALGORITHMS.get(args.method)
-            if fn is None:
-                parser.error(f"unknown bipartite method {args.method!r}")
-            m = fn(inst)
-            print(f"{args.method}: makespan {m.makespan:g}")
+            try:
+                spec = get_registry().resolve(
+                    args.method,
+                    domain="bipartite",
+                    context="bipartite method",
+                )
+            except UnknownSolverError as exc:
+                parser.error(str(exc))
+            m = spec.run(inst)
+            print(f"{spec.name}: makespan {m.makespan:g}")
         else:
-            fn = HYPERGRAPH_ALGORITHMS.get(args.method)
-            if fn is None:
-                parser.error(f"unknown hypergraph method {args.method!r}")
-            m = fn(inst)
-            if args.refine:
-                m = local_search(m).matching
+            from ..engine import solve_hypergraph
+
+            try:
+                m = solve_hypergraph(
+                    inst, method=args.method, refine=args.refine
+                )
+            except ValueError as exc:
+                # UnknownSolverError, bad '+suffix' parses, and
+                # SINGLEPROC-on-MULTIPROC capability guards all derive
+                # from ValueError: report them as usage errors, not
+                # tracebacks
+                parser.error(str(exc))
             lb = averaged_work_bound(inst)
             print(
                 f"{args.method}{' + local-search' if args.refine else ''}: "
@@ -223,20 +248,20 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(degree_histogram(inst))
         if args.solve_with:
-            from ..algorithms.registry import (
-                BIPARTITE_ALGORITHMS,
-                HYPERGRAPH_ALGORITHMS,
-            )
+            from ..api import UnknownSolverError, get_registry
 
-            reg = (
-                BIPARTITE_ALGORITHMS
+            domain = (
+                "bipartite"
                 if isinstance(inst, BipartiteGraph)
-                else HYPERGRAPH_ALGORITHMS
+                else "hypergraph"
             )
-            fn = reg.get(args.solve_with)
-            if fn is None:
-                parser.error(f"unknown method {args.solve_with!r}")
-            m = fn(inst)
+            try:
+                spec = get_registry().resolve(
+                    args.solve_with, domain=domain, context="method"
+                )
+            except UnknownSolverError as exc:
+                parser.error(str(exc))
+            m = spec.run(inst)
             print()
             print(load_stats(m).describe())
             print()

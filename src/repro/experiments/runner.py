@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..algorithms.lower_bounds import averaged_work_bound
-from ..algorithms.registry import get_hypergraph_algorithm
+from ..api import get_registry
 from .._util import Timer
 from .instances import InstanceSpec
 
@@ -123,11 +123,13 @@ def _run_one(
             with timers[a]:
                 matchings = engine.solve_many(hgs, method=a)
         else:
-            fn = get_hypergraph_algorithm(a)
+            solver = get_registry().resolve(
+                a, domain="hypergraph", context="hypergraph algorithm"
+            )
             matchings = []
             for hg in hgs:
                 with timers[a]:
-                    matchings.append(fn(hg))
+                    matchings.append(solver.run(hg))
         for m, lb in zip(matchings, lbs):
             makespans[a].append(m.makespan)
             quality[a].append(m.makespan / lb if lb > 0 else np.inf)

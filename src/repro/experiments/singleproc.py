@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..algorithms.exact_unit import exact_singleproc_unit
-from ..algorithms.registry import get_bipartite_algorithm
+from ..api import get_registry
 from ..core.bipartite import BipartiteGraph
 from ..generators.fewgmanyg import fewgmanyg_bipartite
 from ..generators.hilo import hilo_bipartite
@@ -140,9 +140,11 @@ def run_singleproc(
                 opt = exact_singleproc_unit(graph, engine=engine)
             optima.append(float(opt.optimal_makespan))
             for a in algorithms:
-                fn = get_bipartite_algorithm(a)
+                solver = get_registry().resolve(
+                    a, domain="bipartite", context="bipartite algorithm"
+                )
                 with timers[a]:
-                    m = fn(graph)
+                    m = solver.run(graph)
                 quality[a].append(m.makespan / opt.optimal_makespan)
             if verbose:
                 qs = ", ".join(

@@ -1,27 +1,19 @@
 """High-level ``solve`` entry point: pick the right algorithm for the
-instance and return a named :class:`~repro.sched.schedule.Schedule`.
+instance and return a rich :class:`~repro.api.SolveResult`.
 
-Since the batch engine landed, this is a thin veneer over
-:mod:`repro.engine`: the dispatch rules (mirroring the paper's Section IV
-structure) live in :func:`repro.engine.dispatch.solve_hypergraph`, and
-``solve`` routes through the shared default engine so single-instance
-calls hit the same content-addressed result cache as batch runs and
-sweeps.
+Since the unified API landed, this is a thin veneer over
+:func:`repro.api.solve`: method strings (including composable forms like
+``"EVG+ls"`` and ``"portfolio(SGH,grasp)"``) normalize into
+:class:`~repro.api.SolveOptions`, dispatch is a registry query (see
+:mod:`repro.api.solvers` for what ``"auto"`` selects), and ``solve``
+routes through the shared default engine so single-instance calls hit
+the same content-addressed result cache as batch runs and sweeps.
 
-Dispatch summary:
-
-* ``method="auto"`` — SINGLEPROC-UNIT instances get the exact
-  polynomial algorithm; everything else gets the strongest heuristic the
-  paper recommends for its weight class (EVG for weighted hypergraphs,
-  VGH for unit hypergraphs, expected/sorted greedy for bipartite), plus
-  an optional local-search refinement;
-* any registry name (``"SGH"``, ``"EVG"``, ``"sorted-greedy"``, ...)
-  forces that algorithm;
-* ``method="grasp"`` runs the multi-start metaheuristic (slowest, best);
-* ``method="exhaustive"`` runs the branch-and-bound oracle (tiny
-  instances only);
-* ``method="portfolio"`` races the default portfolio
-  (:data:`repro.engine.DEFAULT_PORTFOLIO`) and keeps the best makespan.
+The returned :class:`~repro.api.SolveResult` exposes the full
+:class:`~repro.sched.schedule.Schedule` surface (``makespan``,
+``allocation()``, ``timeline()``, ``gantt()``, ...) plus provenance:
+the winning solver, wall time, lower bound and optimality gap, and the
+cache-hit flag.
 
 For many instances at once, use :func:`repro.engine.solve_many` — same
 semantics, pooled execution.
@@ -30,7 +22,6 @@ semantics, pooled execution.
 from __future__ import annotations
 
 from .model import SchedulingProblem
-from .schedule import Schedule
 
 __all__ = ["solve"]
 
@@ -40,12 +31,26 @@ def solve(
     *,
     method: str = "auto",
     refine: bool = False,
-) -> Schedule:
-    """Solve a :class:`SchedulingProblem` and return a :class:`Schedule`.
+    seed: int = 0,
+    time_budget: float | None = None,
+    options=None,
+):
+    """Solve a :class:`SchedulingProblem`; returns a
+    :class:`~repro.api.SolveResult` carrying the schedule.
 
     ``refine=True`` post-processes heuristic solutions with
     :func:`repro.algorithms.local_search` (never worsens the makespan).
+    Pass a prepared :class:`~repro.api.SolveOptions` via ``options=`` to
+    override all other keywords.
     """
-    from ..engine.batch import default_engine
+    from ..api import solve as api_solve
 
-    return default_engine().solve(problem, method=method, refine=refine)
+    if options is not None:
+        return api_solve(problem, options=options)
+    return api_solve(
+        problem,
+        method=method,
+        refine=refine,
+        seed=seed,
+        time_budget=time_budget,
+    )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import BatchSolver, SchedulingProblem, solve, solve_many
+from repro import BatchSolver, SchedulingProblem, SolveResult, solve, solve_many
 from repro.core import TaskHypergraph
 from repro.engine import (
     DEFAULT_PORTFOLIO,
@@ -91,16 +91,18 @@ class TestBatchEquality:
     def test_problems_yield_schedules(self, problems):
         engine = BatchSolver(max_workers=1, cache=False)
         out = engine.solve_many(problems)
-        assert all(isinstance(s, Schedule) for s in out)
+        assert all(isinstance(s, SolveResult) for s in out)
+        assert all(isinstance(s.schedule, Schedule) for s in out)
         for prob, s in zip(problems, out):
             assert s.makespan == solve(prob).makespan
+            assert s.allocation() == s.schedule.allocation()
 
     def test_mixed_inputs_keep_order_and_types(self, problems, instances):
         mixed = [problems[0], instances[0], problems[1]]
         out = solve_many(mixed, max_workers=1, cache=False)
-        assert isinstance(out[0], Schedule)
-        assert not isinstance(out[1], Schedule)
-        assert isinstance(out[2], Schedule)
+        assert isinstance(out[0].schedule, Schedule)
+        assert out[1].schedule is None
+        assert isinstance(out[2].schedule, Schedule)
 
     def test_empty_batch(self):
         assert BatchSolver(cache=False).solve_many([]) == []
@@ -221,9 +223,11 @@ class TestCache:
         (first,) = engine.solve_many([problems[0]])
         (second,) = engine.solve_many([problems[0]])
         assert cache.hits == 1
-        assert isinstance(second, Schedule)
+        assert second.cache_hit and not first.cache_hit
+        assert isinstance(second.schedule, Schedule)
         assert second.makespan == first.makespan
         assert second.allocation() == first.allocation()
+        assert second.winner == first.winner
 
     def test_structurally_equal_instances_share_entries(self, problems):
         """Digest keying: a rebuilt hypergraph hits the same entry."""
