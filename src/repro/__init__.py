@@ -36,8 +36,14 @@ Package map
   ``SolverRegistry`` + ``register_solver``, typed ``SolveOptions`` /
   ``SolveResult``, and composable method expressions
   (``Refine``/``Portfolio``/``parse_method``);
-* :mod:`repro.generators` — random families, worst cases, X3C;
+* :mod:`repro.generators` — random families, worst cases, X3C, churn
+  traces;
 * :mod:`repro.sched` — named scheduling problems and ``solve``;
+* :mod:`repro.dynamic` — incremental solving for mutating instances:
+  ``DynamicInstance`` (mutable overlay, delta journal,
+  snapshot/rollback, content digest) and ``IncrementalSolver``
+  (localized repair instead of re-solving), plus JSONL mutation traces
+  (``semimatch replay``);
 * :mod:`repro.engine` — batch solving: ``BatchSolver``/``solve_many``
   (process/thread pools, chunked distribution), portfolio racing, and a
   content-addressed result cache shared with ``solve``;
@@ -86,8 +92,9 @@ from .core import (
     SolverError,
     TaskHypergraph,
 )
+from .dynamic import DynamicInstance, IncrementalSolver
 from .engine import BatchSolver, ResultCache, solve_many
-from .generators import generate_multiproc
+from .generators import churn_trace, generate_multiproc
 from .sched import Schedule, SchedulingProblem, TaskSpec, solve
 
 __version__ = "1.0.0"
@@ -123,6 +130,9 @@ __all__ = [
     "BatchSolver",
     "ResultCache",
     "solve_many",
+    # dynamic subsystem
+    "DynamicInstance",
+    "IncrementalSolver",
     # algorithms
     "basic_greedy",
     "sorted_greedy",
@@ -140,4 +150,5 @@ __all__ = [
     "combined_bound",
     # generators
     "generate_multiproc",
+    "churn_trace",
 ]

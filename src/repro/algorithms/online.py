@@ -30,13 +30,20 @@ import numpy as np
 
 from ..core.errors import GraphStructureError
 from ..core.loadvec import lex_compare_multisets
+from ..dynamic.journal import DeltaJournal, Mutation
 
 __all__ = ["OnlineScheduler", "OnlineAssignment"]
 
 
 @dataclass(frozen=True)
 class OnlineAssignment:
-    """Record of one online placement decision."""
+    """Record of one online placement decision.
+
+    The *instance-side* half of an arrival (the task and its full
+    configuration set) lives in the scheduler's delta journal as a
+    :class:`~repro.dynamic.Mutation`; this record keeps the
+    *decision-side* half — which configuration the policy picked and
+    what it did to the makespan."""
 
     task: Hashable
     config_index: int
@@ -56,10 +63,17 @@ class OnlineScheduler:
     policy:
         ``"greedy"`` (min resulting bottleneck) or ``"vector"``
         (descending-lex load vector).
+    journal_arrivals:
+        Record every arrival's *full* configuration set as a
+        :class:`~repro.dynamic.Mutation` in :attr:`journal`, enabling
+        :meth:`to_dynamic`.  Off by default: a long-running stream would
+        otherwise retain every ``S_i`` forever (the decision history in
+        :attr:`history` only keeps the chosen configuration).
     """
 
     n_procs: int
     policy: str = "greedy"
+    journal_arrivals: bool = False
     _loads: np.ndarray = field(init=False, repr=False)
     _history: list[OnlineAssignment] = field(init=False, repr=False)
 
@@ -72,6 +86,10 @@ class OnlineScheduler:
             )
         self._loads = np.zeros(self.n_procs, dtype=np.float64)
         self._history = []
+        # when enabled, arrivals are journaled with the dynamic
+        # subsystem's mutation records, so an online stream replays into
+        # a DynamicInstance / IncrementalSolver verbatim (to_dynamic())
+        self.journal = DeltaJournal()
 
     # ------------------------------------------------------------------
     def submit(
@@ -110,6 +128,19 @@ class OnlineScheduler:
                     if self._vector_better(parsed[i], parsed[best]):
                         best = i
 
+        if self.journal_arrivals:
+            self.journal.append(
+                Mutation(
+                    "add_task",
+                    {
+                        "task": len(self._history),
+                        "configs": [
+                            [[int(u) for u in pins], w]
+                            for pins, w in parsed
+                        ],
+                    },
+                )
+            )
         pins, w = parsed[best]
         self._loads[pins] += w
         record = OnlineAssignment(
@@ -138,9 +169,39 @@ class OnlineScheduler:
         """Current maximum load."""
         return float(self._loads.max()) if self._loads.size else 0.0
 
+    def bottleneck(self) -> float:
+        """Alias of :attr:`makespan` — accessor parity with
+        :meth:`repro.dynamic.IncrementalSolver.bottleneck`."""
+        return self.makespan
+
     def loads(self) -> np.ndarray:
         """Current per-processor loads (a copy)."""
         return self._loads.copy()
+
+    def to_dynamic(self):
+        """The stream so far as a :class:`~repro.dynamic.DynamicInstance`.
+
+        Requires ``journal_arrivals=True``.  The returned instance has
+        this scheduler's processors and the journaled arrivals replayed
+        in order — hand it to an
+        :class:`~repro.dynamic.IncrementalSolver` to compare irrevocable
+        online placement against repairable incremental placement on
+        the *same* stream.
+        """
+        from ..dynamic.instance import DynamicInstance
+
+        if self._history and not len(self.journal):
+            raise GraphStructureError(
+                "arrivals were not journaled; construct the scheduler "
+                "with journal_arrivals=True to enable to_dynamic()"
+            )
+        inst = DynamicInstance()
+        for _ in range(self.n_procs):
+            inst.add_processor()
+        # the processor joins above are instance setup, not stream
+        # events: replay only the journaled arrivals
+        inst.replay(self.journal)
+        return inst
 
     @property
     def history(self) -> tuple[OnlineAssignment, ...]:
@@ -155,14 +216,18 @@ class OnlineScheduler:
 
     @staticmethod
     def replay_hypergraph(hg, *, policy: str = "greedy",
-                          order: np.ndarray | None = None) -> "OnlineScheduler":
+                          order: np.ndarray | None = None,
+                          journal_arrivals: bool = False,
+                          ) -> "OnlineScheduler":
         """Feed a MULTIPROC instance through the online scheduler.
 
         ``order`` is the arrival order (default: task index order — what
         an adversary-free stream looks like).  Returns the scheduler so
         callers can read the final makespan and history.
         """
-        sched = OnlineScheduler(hg.n_procs, policy=policy)
+        sched = OnlineScheduler(
+            hg.n_procs, policy=policy, journal_arrivals=journal_arrivals
+        )
         if order is None:
             order = np.arange(hg.n_tasks)
         for v in order:

@@ -101,6 +101,20 @@ register_solver(
 )(exhaustive_multiproc)
 
 
+# -- the dynamic subsystem's from-scratch entry point -----------------------
+@register_solver(
+    name="incremental",
+    domain="hypergraph",
+    aliases=("dynamic",),
+    capabilities={"weighted", "dynamic"},
+    summary="Incremental engine (repro.dynamic): repairs across mutations.",
+)
+def _incremental(hg):
+    from ..dynamic.solver import incremental_solve
+
+    return incremental_solve(hg)
+
+
 # -- SINGLEPROC (bipartite) greedies of Section IV-B ------------------------
 register_solver(
     name="basic-greedy",

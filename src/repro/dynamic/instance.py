@@ -1,0 +1,625 @@
+"""A mutable overlay over :class:`~repro.core.hypergraph.TaskHypergraph`.
+
+The core instance types are immutable CSR arrays — ideal for solver
+kernels, hostile to churn.  :class:`DynamicInstance` keeps the *logical*
+MULTIPROC instance in handle-indexed dictionaries instead: tasks and
+processors get stable integer handles that survive arbitrary arrivals
+and departures, every mutation appends to a :class:`~repro.dynamic.journal.DeltaJournal`
+(giving ``snapshot()``/``rollback()``/``replay()``), and the frozen CSR
+form is *compiled on demand* — and cached by version — whenever a
+solver, digest or serialisation needs it.
+
+The content digest is the engine's own
+:func:`~repro.engine.cache.instance_digest` of the compiled hypergraph.
+Compilation is *canonical* (hyperedges grouped by task handle), so any
+two dynamic spellings of the same logical content — different mutation
+histories, a rollback, a trace replay — produce the same digest and
+share :class:`~repro.engine.cache.ResultCache` entries, and any
+mutation re-keys the cache precisely: equal content, equal key —
+nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..core.errors import GraphStructureError, InfeasibleError
+from ..core.hypergraph import TaskHypergraph
+from .journal import DeltaJournal, Mutation
+
+__all__ = ["DynamicInstance", "CompiledInstance"]
+
+
+@dataclass(frozen=True)
+class _Config:
+    """One configuration of one task: a pin set, a weight, and whether a
+    processor failure has disabled it.  Config indices are stable for the
+    lifetime of their task (disabled entries keep their slot)."""
+
+    pins: tuple[int, ...]
+    weight: float
+    alive: bool = True
+
+
+@dataclass(frozen=True)
+class CompiledInstance:
+    """The frozen CSR snapshot of a :class:`DynamicInstance`.
+
+    Dense ids are contiguous and ordered by handle, so the mapping
+    arrays translate between the solver's world (dense) and the dynamic
+    world (handles):
+
+    * ``task_handles[i]`` / ``proc_handles[u]`` — dense → handle;
+    * ``task_index`` / ``proc_index`` — handle → dense;
+    * ``hedge_origin[h]`` — the ``(task handle, config index)`` a dense
+      hyperedge was compiled from;
+    * ``hedge_index`` — the inverse of ``hedge_origin``.
+    """
+
+    hypergraph: TaskHypergraph
+    task_handles: tuple[int, ...]
+    proc_handles: tuple[int, ...]
+    hedge_origin: tuple[tuple[int, int], ...]
+    task_index: dict[int, int]
+    proc_index: dict[int, int]
+    hedge_index: dict[tuple[int, int], int]
+
+    def assignment_to_dense(
+        self, assignment: dict[int, int]
+    ) -> np.ndarray:
+        """Translate a handle-level assignment (task → config index)
+        into the ``hedge_of_task`` array of the compiled hypergraph."""
+        out = np.empty(len(self.task_handles), dtype=np.int64)
+        for dense, handle in enumerate(self.task_handles):
+            out[dense] = self.hedge_index[(handle, assignment[handle])]
+        return out
+
+    def assignment_from_dense(
+        self, hedge_of_task: np.ndarray
+    ) -> dict[int, int]:
+        """Inverse of :meth:`assignment_to_dense`."""
+        return {
+            self.hedge_origin[int(h)][0]: self.hedge_origin[int(h)][1]
+            for h in hedge_of_task
+        }
+
+
+class DynamicInstance:
+    """A MULTIPROC instance that mutates.
+
+    Tasks and processors are addressed by stable integer *handles*
+    (assigned sequentially, never reused), so references held by an
+    :class:`~repro.dynamic.IncrementalSolver` stay valid across any
+    interleaving of arrivals and departures.
+
+    Mutations — :meth:`add_task`, :meth:`remove_task`,
+    :meth:`add_processor`, :meth:`remove_processor`,
+    :meth:`update_weight` — append to the delta journal.
+    :meth:`snapshot` marks a point in time, :meth:`rollback` restores
+    it, and :meth:`replay` applies recorded mutations (e.g. a loaded
+    trace file).
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[int, list[_Config]] = {}
+        self._procs: set[int] = set()
+        self._next_task = 0
+        self._next_proc = 0
+        self.journal = DeltaJournal()
+        self._version = 0
+        self._compiled: tuple[int, CompiledInstance] | None = None
+        self._digest: tuple[int, str] | None = None
+        self._listeners: list = []
+
+    # ------------------------------------------------------------------
+    # change notification
+    # ------------------------------------------------------------------
+    def subscribe(self, listener) -> None:
+        """Register a zero-argument callable invoked after every state
+        change (mutation or rollback).
+
+        An :class:`~repro.dynamic.IncrementalSolver` subscribes so its
+        repair runs in lockstep with the journal: repairing a mutation
+        needs the instance *as of that mutation*, which only the moment
+        of the change can provide.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self) -> None:
+        for listener in tuple(self._listeners):
+            listener()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_hypergraph(hg: TaskHypergraph) -> "DynamicInstance":
+        """Seed a dynamic instance from a static one.
+
+        Task ``i`` gets handle ``i``, processor ``u`` handle ``u``, and
+        task ``i``'s ``j``-th incident hyperedge becomes its config
+        ``j`` — a fresh compile therefore round-trips to an equivalent
+        hypergraph with the hyperedges in canonical task-grouped order.
+        The seeding is *not* journaled: the baseline is the state a
+        trace's mutations apply to.
+        """
+        inst = DynamicInstance()
+        inst._procs = set(range(hg.n_procs))
+        inst._next_proc = hg.n_procs
+        for i in range(hg.n_tasks):
+            # pins are stored sorted, exactly as add_task stores them:
+            # the digest's equal-content-equal-key guarantee needs one
+            # canonical pin order whatever the source spelled
+            confs = [
+                _Config(
+                    tuple(sorted(int(u) for u in hg.hedge_proc_set(int(h)))),
+                    float(hg.hedge_w[int(h)]),
+                )
+                for h in hg.task_hedge_ids(i)
+            ]
+            if not confs:
+                raise GraphStructureError(
+                    f"task {i} has no configuration; no semi-matching exists"
+                )
+            inst._tasks[i] = confs
+        inst._next_task = hg.n_tasks
+        return inst
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def n_procs(self) -> int:
+        return len(self._procs)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (rollback moves it forward too:
+        every state change invalidates derived snapshots)."""
+        return self._version
+
+    def tasks(self) -> list[int]:
+        """Alive task handles, ascending."""
+        return sorted(self._tasks)
+
+    def procs(self) -> list[int]:
+        """Alive processor handles, ascending."""
+        return sorted(self._procs)
+
+    def has_task(self, task: int) -> bool:
+        return task in self._tasks
+
+    def has_proc(self, proc: int) -> bool:
+        return proc in self._procs
+
+    def task_configs(
+        self, task: int
+    ) -> list[tuple[int, tuple[int, ...], float]]:
+        """Alive ``(config index, pins, weight)`` triples of ``task``."""
+        return [
+            (j, c.pins, c.weight)
+            for j, c in enumerate(self._task(task))
+            if c.alive
+        ]
+
+    def config(self, task: int, index: int) -> tuple[tuple[int, ...], float]:
+        """``(pins, weight)`` of one alive configuration."""
+        confs = self._task(task)
+        if not 0 <= index < len(confs) or not confs[index].alive:
+            raise GraphStructureError(
+                f"task {task} has no alive configuration {index}"
+            )
+        c = confs[index]
+        return c.pins, c.weight
+
+    def config_any(
+        self, task: int, index: int
+    ) -> tuple[tuple[int, ...], float, bool]:
+        """``(pins, weight, alive)`` of a configuration, disabled ones
+        included — the repair path needs the pins of a configuration a
+        processor failure just killed."""
+        confs = self._task(task)
+        if not 0 <= index < len(confs):
+            raise GraphStructureError(
+                f"task {task} has no configuration {index}"
+            )
+        c = confs[index]
+        return c.pins, c.weight, c.alive
+
+    def _task(self, task: int) -> list[_Config]:
+        try:
+            return self._tasks[task]
+        except KeyError:
+            raise GraphStructureError(f"unknown task handle {task}") from None
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def _bump(self) -> None:
+        self._version += 1
+        self._compiled = None
+        self._digest = None
+
+    def add_task(
+        self,
+        configurations: Sequence[tuple[Iterable[int], float]],
+    ) -> int:
+        """A task arrives with its configuration set ``S_i``; returns
+        its handle.  ``configurations`` is a sequence of
+        ``(processor handles, weight)`` pairs."""
+        confs: list[_Config] = []
+        for procs, w in configurations:
+            pins = tuple(sorted({int(u) for u in procs}))
+            if not pins:
+                raise GraphStructureError("empty processor set")
+            missing = [u for u in pins if u not in self._procs]
+            if missing:
+                raise GraphStructureError(
+                    f"unknown processor handle(s) {missing}"
+                )
+            w = float(w)
+            if not (w > 0 and np.isfinite(w)):
+                raise GraphStructureError(f"bad weight {w!r}")
+            confs.append(_Config(pins, w))
+        if not confs:
+            raise GraphStructureError(
+                "a task needs at least one configuration"
+            )
+        task = self._next_task
+        self._next_task += 1
+        self._tasks[task] = confs
+        self._bump()
+        self.journal.append(
+            Mutation(
+                "add_task",
+                {
+                    "task": task,
+                    "configs": [
+                        [list(c.pins), c.weight] for c in confs
+                    ],
+                },
+            )
+        )
+        self._notify()
+        return task
+
+    def remove_task(self, task: int) -> None:
+        """The task finishes (or is cancelled) and leaves the instance."""
+        confs = self._task(task)
+        del self._tasks[task]
+        self._bump()
+        self.journal.append(
+            Mutation(
+                "remove_task",
+                {"task": task},
+                undo={"configs": confs},
+            )
+        )
+        self._notify()
+
+    def add_processor(self) -> int:
+        """A processor joins; returns its handle.  It starts with no
+        incident configurations — later arrivals (or re-added tasks)
+        may reference it."""
+        proc = self._next_proc
+        self._next_proc += 1
+        self._procs.add(proc)
+        self._bump()
+        self.journal.append(Mutation("add_processor", {"proc": proc}))
+        self._notify()
+        return proc
+
+    def remove_processor(self, proc: int) -> None:
+        """The processor fails: every configuration pinned to it is
+        disabled.  Raises :class:`InfeasibleError` (and changes
+        nothing) if some task would be left with no alive
+        configuration."""
+        if proc not in self._procs:
+            raise GraphStructureError(f"unknown processor handle {proc}")
+        killed: list[tuple[int, int]] = []
+        for task, confs in self._tasks.items():
+            survivors = 0
+            for j, c in enumerate(confs):
+                if not c.alive:
+                    continue
+                if proc in c.pins:
+                    killed.append((task, j))
+                else:
+                    survivors += 1
+            if survivors == 0:
+                raise InfeasibleError(
+                    f"removing processor {proc} leaves task {task} with "
+                    "no configuration"
+                )
+        for task, j in killed:
+            confs = self._tasks[task]
+            confs[j] = _Config(confs[j].pins, confs[j].weight, alive=False)
+        self._procs.discard(proc)
+        self._bump()
+        self.journal.append(
+            Mutation(
+                "remove_processor",
+                {"proc": proc},
+                undo={"killed": killed},
+            )
+        )
+        self._notify()
+
+    def update_weight(self, task: int, config: int, weight: float) -> None:
+        """The execution time of one configuration drifts."""
+        confs = self._task(task)
+        if not 0 <= config < len(confs) or not confs[config].alive:
+            raise GraphStructureError(
+                f"task {task} has no alive configuration {config}"
+            )
+        weight = float(weight)
+        if not (weight > 0 and np.isfinite(weight)):
+            raise GraphStructureError(f"bad weight {weight!r}")
+        old = confs[config].weight
+        confs[config] = _Config(confs[config].pins, weight)
+        self._bump()
+        self.journal.append(
+            Mutation(
+                "update_weight",
+                {"task": task, "config": config, "weight": weight},
+                undo={"old": old},
+            )
+        )
+        self._notify()
+
+    def apply(self, mutation: Mutation) -> Any:
+        """Apply one recorded :class:`Mutation` (trace replay).
+
+        ``add_task``/``add_processor`` records carry the handle the
+        original run assigned; replay verifies the instance assigns the
+        same one, so a trace is only applicable to the baseline it was
+        recorded against.
+        """
+        p = mutation.payload
+        if mutation.op == "add_task":
+            # verify the handle *before* mutating: the error path must
+            # leave the instance (and its subscribers) untouched
+            if self._next_task != int(p["task"]):
+                raise GraphStructureError(
+                    f"trace expected task handle {p['task']}, "
+                    f"instance would assign {self._next_task}; "
+                    "wrong baseline?"
+                )
+            return self.add_task(
+                [(pins, w) for pins, w in p["configs"]]
+            )
+        if mutation.op == "remove_task":
+            return self.remove_task(int(p["task"]))
+        if mutation.op == "add_processor":
+            if self._next_proc != int(p["proc"]):
+                raise GraphStructureError(
+                    f"trace expected processor handle {p['proc']}, "
+                    f"instance would assign {self._next_proc}; "
+                    "wrong baseline?"
+                )
+            return self.add_processor()
+        if mutation.op == "remove_processor":
+            return self.remove_processor(int(p["proc"]))
+        if mutation.op == "update_weight":
+            return self.update_weight(
+                int(p["task"]), int(p["config"]), float(p["weight"])
+            )
+        raise ValueError(f"unknown mutation op {mutation.op!r}")
+
+    def replay(self, mutations: Iterable[Mutation]) -> int:
+        """Apply a sequence of mutations; returns how many were applied."""
+        count = 0
+        for m in mutations:
+            self.apply(m)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # snapshot / rollback
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """An opaque marker for the current state (a journal position)."""
+        return self.journal.snapshot()
+
+    def rollback(self, marker: int) -> int:
+        """Undo every mutation applied after ``marker``; returns how
+        many were undone.  The journal is truncated back to the marker,
+        so a solver whose cursor is past it performs a full re-sync."""
+        undone = 0
+        for m in self.journal.truncate(marker):
+            self._undo(m)
+            undone += 1
+        if undone:
+            self._bump()
+            self._notify()
+        return undone
+
+    def _undo(self, m: Mutation) -> None:
+        p = m.payload
+        if m.op == "add_task":
+            task = int(p["task"])
+            del self._tasks[task]
+            if task == self._next_task - 1:
+                self._next_task -= 1  # keep replay-determinism of handles
+        elif m.op == "remove_task":
+            self._tasks[int(p["task"])] = list(m.undo["configs"])
+        elif m.op == "add_processor":
+            proc = int(p["proc"])
+            self._procs.discard(proc)
+            if proc == self._next_proc - 1:
+                self._next_proc -= 1
+        elif m.op == "remove_processor":
+            self._procs.add(int(p["proc"]))
+            for task, j in m.undo["killed"]:
+                confs = self._tasks[task]
+                confs[j] = _Config(confs[j].pins, confs[j].weight)
+        elif m.op == "update_weight":
+            task, j = int(p["task"]), int(p["config"])
+            confs = self._tasks[task]
+            confs[j] = _Config(confs[j].pins, float(m.undo["old"]))
+        else:  # pragma: no cover - journal only holds known ops
+            raise ValueError(f"cannot undo mutation op {m.op!r}")
+
+    # ------------------------------------------------------------------
+    # full-fidelity state serialisation
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The complete mutable state as a JSON-friendly dict.
+
+        Unlike :meth:`to_hypergraph` this preserves *everything* replay
+        depends on: task/processor handles, disabled configuration
+        slots, and the handle counters.  ``from_state(to_state())`` is
+        an exact clone (minus the journal), so a trace's recorded
+        handles and config indices stay valid against it.
+        """
+        return {
+            "kind": "dynamic-instance",
+            "version": 1,
+            "procs": sorted(self._procs),
+            "next_task": self._next_task,
+            "next_proc": self._next_proc,
+            "tasks": {
+                str(t): [
+                    [list(c.pins), c.weight, c.alive] for c in confs
+                ]
+                for t, confs in sorted(self._tasks.items())
+            },
+        }
+
+    @staticmethod
+    def from_state(data: dict) -> "DynamicInstance":
+        """Inverse of :meth:`to_state` (journal starts empty)."""
+        if data.get("kind") != "dynamic-instance":
+            raise GraphStructureError(
+                f"expected kind 'dynamic-instance', got {data.get('kind')!r}"
+            )
+        inst = DynamicInstance()
+        inst._procs = {int(u) for u in data["procs"]}
+        for t, confs in data["tasks"].items():
+            parsed = [
+                _Config(
+                    tuple(sorted(int(u) for u in pins)),
+                    float(w),
+                    bool(alive),
+                )
+                for pins, w, alive in confs
+            ]
+            if not any(c.alive for c in parsed):
+                raise GraphStructureError(
+                    f"task {t} has no alive configuration"
+                )
+            for c in parsed:
+                if c.alive and not set(c.pins) <= inst._procs:
+                    raise GraphStructureError(
+                        f"task {t} has a configuration pinned to an "
+                        "unknown processor"
+                    )
+                if not (c.weight > 0 and np.isfinite(c.weight)):
+                    raise GraphStructureError(f"bad weight {c.weight!r}")
+            inst._tasks[int(t)] = parsed
+        inst._next_task = int(data["next_task"])
+        inst._next_proc = int(data["next_proc"])
+        if inst._tasks and max(inst._tasks) >= inst._next_task:
+            raise GraphStructureError("next_task collides with a live handle")
+        if inst._procs and max(inst._procs) >= inst._next_proc:
+            raise GraphStructureError("next_proc collides with a live handle")
+        return inst
+
+    # ------------------------------------------------------------------
+    # compilation, digest, cache integration
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledInstance:
+        """The frozen CSR snapshot of the current state (cached by
+        version).  Dense ids are handle-ordered and hyperedges grouped
+        by task — a *canonical* form, so equal logical content always
+        compiles to identical arrays (and hence an identical digest)
+        whatever the mutation history."""
+        if self._compiled is not None and self._compiled[0] == self._version:
+            return self._compiled[1]
+        task_handles = tuple(sorted(self._tasks))
+        proc_handles = tuple(sorted(self._procs))
+        proc_index = {u: d for d, u in enumerate(proc_handles)}
+        hedge_task: list[int] = []
+        plists: list[list[int]] = []
+        weights: list[float] = []
+        hedge_origin: list[tuple[int, int]] = []
+        for dense, task in enumerate(task_handles):
+            for j, c in enumerate(self._tasks[task]):
+                if not c.alive:
+                    continue
+                hedge_task.append(dense)
+                plists.append([proc_index[u] for u in c.pins])
+                weights.append(c.weight)
+                hedge_origin.append((task, j))
+        hg = TaskHypergraph.from_hyperedges(
+            len(task_handles),
+            len(proc_handles),
+            np.asarray(hedge_task, dtype=np.int64),
+            plists,
+            np.asarray(weights, dtype=np.float64),
+        )
+        compiled = CompiledInstance(
+            hypergraph=hg,
+            task_handles=task_handles,
+            proc_handles=proc_handles,
+            hedge_origin=tuple(hedge_origin),
+            task_index={t: d for d, t in enumerate(task_handles)},
+            proc_index=proc_index,
+            hedge_index={
+                origin: h for h, origin in enumerate(hedge_origin)
+            },
+        )
+        self._compiled = (self._version, compiled)
+        return compiled
+
+    def to_hypergraph(self) -> TaskHypergraph:
+        """The current state as an immutable :class:`TaskHypergraph`."""
+        return self.compile().hypergraph
+
+    def digest(self) -> str:
+        """Content digest of the current state (cached by version).
+
+        This is :func:`repro.engine.cache.instance_digest` of the
+        (canonical) compiled hypergraph, so any two spellings of the
+        same logical content share
+        :class:`~repro.engine.cache.ResultCache` entries, and every
+        mutation re-keys precisely.
+        """
+        if self._digest is not None and self._digest[0] == self._version:
+            return self._digest[1]
+        from ..engine.cache import instance_digest
+
+        d = instance_digest(self.to_hypergraph())
+        self._digest = (self._version, d)
+        return d
+
+    def cache_key(self, options=None) -> tuple:
+        """The :class:`ResultCache` key for solving the current state
+        under ``options`` (a :class:`~repro.api.SolveOptions`; defaults
+        to ``SolveOptions()``)."""
+        from ..api.options import SolveOptions
+
+        if options is None:
+            options = SolveOptions()
+        return (self.digest(), *options.cache_token())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicInstance(n_tasks={self.n_tasks}, "
+            f"n_procs={self.n_procs}, version={self._version}, "
+            f"journal={len(self.journal)})"
+        )

@@ -1,0 +1,456 @@
+"""Incremental solving: repair the assignment, don't re-solve the world.
+
+:class:`IncrementalSolver` maintains a semi-matching (and the full load
+vector) over a mutating :class:`~repro.dynamic.DynamicInstance`.  It
+subscribes to the instance, repairing the assignment in lockstep with
+the delta journal —
+
+* **arrivals** place the new task greedily (the configuration with the
+  smallest resulting bottleneck, the online-greedy rule);
+* **departures** free the task's load;
+* **processor failures** re-place exactly the tasks whose chosen
+  configuration died;
+* **weight drift** adjusts the loads in place and reconsiders the one
+  affected task;
+
+and every direct fix is followed by a *bounded local search*: the
+vector-improving single-task moves of
+:func:`repro.algorithms.local_search`, restricted to tasks assigned
+inside the repair region and capped by a move budget.  Accepted moves
+strictly improve the multiset-lexicographic load vector, so the global
+bottleneck never worsens through repair.
+
+When one mutation displaces more than ``max(min_fallback_region,
+fallback_ratio * n_tasks)`` tasks the solver gives up on locality
+and re-solves from scratch through :func:`repro.api.solve` — which runs
+the registry method it was configured with *and* hits the engine's
+shared :class:`~repro.engine.cache.ResultCache` keyed by the instance's
+content digest (so rolling back to previously-seen content is answered
+from cache).  ``fallback_ratio=0`` with ``min_fallback_region=0``
+degenerates to a full re-solve per mutation — bit-identical to solving
+the final instance from scratch, which the equivalence tests exploit.
+
+:meth:`compact` is the periodic global re-optimisation valve: it runs a
+from-scratch solve and adopts it unless the incrementally repaired
+assignment is already at least as good, guaranteeing the solver never
+drifts above from-scratch quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+from ..core.loadvec import lex_compare_multisets
+from ..core.semimatching import HyperSemiMatching
+from .instance import DynamicInstance
+from .journal import Mutation
+
+__all__ = ["IncrementalSolver", "RepairStats", "incremental_solve"]
+
+
+@dataclass
+class RepairStats:
+    """Observable counters of one solver's lifetime."""
+
+    mutations: int = 0
+    local_repairs: int = 0
+    full_solves: int = 0
+    ls_moves: int = 0
+    fallbacks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "mutations": self.mutations,
+            "local_repairs": self.local_repairs,
+            "full_solves": self.full_solves,
+            "ls_moves": self.ls_moves,
+            "fallbacks": self.fallbacks,
+        }
+
+
+@dataclass
+class _Cursor:
+    """Where in the journal the solver has caught up to."""
+
+    position: int = 0
+    truncations: int = 0
+
+
+class IncrementalSolver:
+    """Maintain a semi-matching across mutations of a dynamic instance.
+
+    Parameters
+    ----------
+    instance:
+        A :class:`DynamicInstance` (tracked in place), a
+        :class:`TaskHypergraph` (seeded via
+        :meth:`DynamicInstance.from_hypergraph`) or ``None`` (a fresh
+        empty instance).
+    method:
+        Registry method used for the initial solve and every full
+        re-solve (any :func:`repro.api.parse_method` string).
+    fallback_ratio, min_fallback_region:
+        A mutation that displaces more than ``max(min_fallback_region,
+        fallback_ratio * n_tasks)`` tasks (a heavily-shared processor
+        failing, say) triggers a full re-solve.  Both zero means
+        "always re-solve".
+    ls_moves:
+        Local-search move budget per repaired mutation.
+    """
+
+    def __init__(
+        self,
+        instance: DynamicInstance | TaskHypergraph | None = None,
+        *,
+        method: str = "auto",
+        fallback_ratio: float = 0.25,
+        min_fallback_region: int = 4,
+        ls_moves: int = 64,
+    ):
+        if instance is None:
+            instance = DynamicInstance()
+        elif isinstance(instance, TaskHypergraph):
+            instance = DynamicInstance.from_hypergraph(instance)
+        elif not isinstance(instance, DynamicInstance):
+            raise TypeError(
+                "instance must be a DynamicInstance, TaskHypergraph or "
+                f"None, got {type(instance).__name__}"
+            )
+        if fallback_ratio < 0:
+            raise ValueError("fallback_ratio must be non-negative")
+        if min_fallback_region < 0:
+            raise ValueError("min_fallback_region must be non-negative")
+        if ls_moves < 0:
+            raise ValueError("ls_moves must be non-negative")
+        self.instance = instance
+        self.method = method
+        self.fallback_ratio = float(fallback_ratio)
+        self.min_fallback_region = int(min_fallback_region)
+        self.ls_budget = int(ls_moves)
+        self.stats = RepairStats()
+        self._assign: dict[int, int] = {}
+        self._loads: dict[int, float] = {}
+        self._on_proc: dict[int, set[int]] = {}
+        self._cursor = _Cursor()
+        self._full_resolve()
+        # repair must run in lockstep with the journal: fixing mutation
+        # k needs the instance *as of k*, which only the moment of the
+        # change can provide.  The accessors still sync() defensively.
+        self.instance.subscribe(self.sync)
+
+    def detach(self) -> None:
+        """Stop tracking the instance (the solver keeps its last state)."""
+        self.instance.unsubscribe(self.sync)
+
+    # ------------------------------------------------------------------
+    # accessors (all sync first)
+    # ------------------------------------------------------------------
+    def loads(self) -> dict[int, float]:
+        """Per-processor loads, keyed by processor *handle* (a copy)."""
+        self.sync()
+        return dict(self._loads)
+
+    def bottleneck(self) -> float:
+        """``max_u l(u)`` — the maintained objective value."""
+        self.sync()
+        return max(self._loads.values(), default=0.0)
+
+    def assignment(self) -> dict[int, int]:
+        """Chosen configuration index per task handle (a copy)."""
+        self.sync()
+        return dict(self._assign)
+
+    def matching(self) -> HyperSemiMatching:
+        """The maintained assignment as a validated
+        :class:`HyperSemiMatching` over the compiled current state."""
+        self.sync()
+        compiled = self.instance.compile()
+        return HyperSemiMatching(
+            compiled.hypergraph,
+            compiled.assignment_to_dense(self._assign),
+        )
+
+    # ------------------------------------------------------------------
+    # synchronisation
+    # ------------------------------------------------------------------
+    def sync(self) -> int:
+        """Catch up with the instance's journal; returns how many
+        mutations were processed.  A rollback (journal truncation)
+        forces one full re-solve."""
+        journal = self.instance.journal
+        if self._cursor.truncations != journal.truncations:
+            self._full_resolve()
+            return 0
+        processed = 0
+        # a fallback re-solve inside _repair fast-forwards the cursor to
+        # the journal's end, which terminates this loop naturally
+        while self._cursor.position < len(journal):
+            m = journal[self._cursor.position]
+            self._cursor.position += 1
+            self.stats.mutations += 1
+            self._repair(m)
+            processed += 1
+        return processed
+
+    def _displacement_limit(self) -> float:
+        return max(
+            self.min_fallback_region,
+            self.fallback_ratio * max(self.instance.n_tasks, 1),
+        )
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    def _repair(self, m: Mutation) -> None:
+        limit = self._displacement_limit()
+        if limit <= 0:
+            self.stats.fallbacks += 1
+            self._full_resolve()
+            return
+        repair = self._apply_direct(m)
+        if repair is None:
+            return  # nothing to repair (e.g. a processor joined)
+        region, displaced = repair
+        if displaced > limit:
+            self.stats.fallbacks += 1
+            self._full_resolve()
+            return
+        self.stats.local_repairs += 1
+        self._bounded_local_search(region)
+
+    def _apply_direct(
+        self, m: Mutation
+    ) -> tuple[set[int], int] | None:
+        """Apply the mutation's direct consequences to the assignment.
+
+        Returns ``(repair region, displaced task count)`` — the seed
+        processors for the bounded local search and the damage measure
+        the fallback thresholds on — or ``None`` when no rebalancing
+        can help."""
+        p = m.payload
+        if m.op == "add_processor":
+            self._loads[int(p["proc"])] = 0.0
+            # an empty processor cannot worsen anything, but tasks may
+            # profitably migrate onto it once it gains configurations —
+            # which only happens through later mutations
+            return None
+
+        if m.op == "add_task":
+            task = int(p["task"])
+            pins = self._place_greedy(task)
+            return set(pins), 1
+
+        if m.op == "remove_task":
+            task = int(p["task"])
+            cfg = self._assign.pop(task)
+            conf = m.undo["configs"][cfg]
+            self._unload(task, conf.pins, conf.weight)
+            return set(conf.pins), 0
+
+        if m.op == "remove_processor":
+            proc = int(p["proc"])
+            region: set[int] = set()
+            displaced = 0
+            for task in sorted(self._on_proc.get(proc, set())):
+                cfg = self._assign[task]
+                pins, w, _alive = self.instance.config_any(task, cfg)
+                self._unload(task, pins, w)
+                del self._assign[task]
+                region.update(pins)
+                region.update(self._place_greedy(task))
+                displaced += 1
+            self._on_proc.pop(proc, None)
+            self._loads.pop(proc, None)
+            region.discard(proc)
+            return (region, displaced) if region else None
+
+        if m.op == "update_weight":
+            task, cfg = int(p["task"]), int(p["config"])
+            new_w, old_w = float(p["weight"]), float(m.undo["old"])
+            pins, _, _ = self.instance.config_any(task, cfg)
+            if self._assign.get(task) == cfg:
+                for u in pins:
+                    self._loads[u] += new_w - old_w
+                return set(pins), 1
+            # a non-chosen configuration changed price: only a decrease
+            # can make the affected task want to move
+            if new_w < old_w:
+                current = self._assign[task]
+                cur_pins, _, _ = self.instance.config_any(task, current)
+                return set(pins) | set(cur_pins), 1
+            return None
+
+        raise ValueError(f"unknown mutation op {m.op!r}")
+
+    # -- primitive load/assignment updates ------------------------------
+    def _load(self, task: int, pins: tuple[int, ...], w: float) -> None:
+        for u in pins:
+            self._loads[u] += w
+            self._on_proc.setdefault(u, set()).add(task)
+
+    def _unload(self, task: int, pins: tuple[int, ...], w: float) -> None:
+        for u in pins:
+            if u in self._loads:
+                self._loads[u] -= w
+            procs = self._on_proc.get(u)
+            if procs is not None:
+                procs.discard(task)
+
+    def _place_greedy(self, task: int) -> tuple[int, ...]:
+        """Assign ``task`` the configuration with the smallest resulting
+        bottleneck (ties: least added work, then config order) and
+        return its pins."""
+        best_cfg = -1
+        best_key: tuple[float, float] | None = None
+        best_pins: tuple[int, ...] = ()
+        best_w = 0.0
+        for cfg, pins, w in self.instance.task_configs(task):
+            peak = max(self._loads[u] for u in pins) + w
+            key = (peak, w * len(pins))
+            if best_key is None or key < best_key:
+                best_cfg, best_key, best_pins, best_w = cfg, key, pins, w
+        self._assign[task] = best_cfg
+        self._load(task, best_pins, best_w)
+        return best_pins
+
+    # -- bounded local search -------------------------------------------
+    def _move_gain(
+        self,
+        old_pins: tuple[int, ...],
+        old_w: float,
+        new_pins: tuple[int, ...],
+        new_w: float,
+    ) -> int:
+        """Multiset-lex comparison of loads after vs before the move
+        over the affected processors (< 0 means the move improves)."""
+        affected = sorted(set(old_pins) | set(new_pins))
+        before = np.array([self._loads[u] for u in affected])
+        after = before.copy()
+        old_set, new_set = set(old_pins), set(new_pins)
+        for i, u in enumerate(affected):
+            if u in old_set:
+                after[i] -= old_w
+            if u in new_set:
+                after[i] += new_w
+        return lex_compare_multisets(after, before)
+
+    def _bounded_local_search(self, region: set[int]) -> None:
+        """Vector-improving single-task moves off the region's
+        bottleneck processors (the restriction
+        :func:`repro.algorithms.local_search` uses globally).
+
+        Accepted moves pull the region outward (their new pins join
+        it); the move budget — not the region size — bounds the work,
+        so a repair ripples as far as it is productive and no further.
+        """
+        budget = self.ls_budget
+        while budget > 0:
+            peak = max(
+                (self._loads.get(u, 0.0) for u in region), default=0.0
+            )
+            moved = False
+            # only tasks on a region-bottleneck processor can host the
+            # move that lowers it
+            for u in sorted(region):
+                if self._loads.get(u, -1.0) < peak - 1e-12:
+                    continue
+                for task in sorted(self._on_proc.get(u, set())):
+                    cur = self._assign[task]
+                    cur_pins, cur_w, _ = self.instance.config_any(task, cur)
+                    for cfg, pins, w in self.instance.task_configs(task):
+                        if cfg == cur:
+                            continue
+                        if self._move_gain(cur_pins, cur_w, pins, w) < 0:
+                            self._unload(task, cur_pins, cur_w)
+                            self._assign[task] = cfg
+                            self._load(task, pins, w)
+                            region.update(pins)
+                            self.stats.ls_moves += 1
+                            budget -= 1
+                            moved = True
+                            break
+                    if moved:
+                        break
+                if moved:
+                    break
+            if not moved:
+                break
+
+    # ------------------------------------------------------------------
+    # full solves
+    # ------------------------------------------------------------------
+    def _full_resolve(self) -> None:
+        """Drop the incremental state and solve the current instance
+        from scratch with the configured registry method (through the
+        default engine, so the content digest keys the shared cache)."""
+        inst = self.instance
+        self.stats.full_solves += 1
+        self._loads = {u: 0.0 for u in inst.procs()}
+        self._on_proc = {}
+        self._assign = {}
+        if inst.n_tasks:
+            from ..api import solve as api_solve
+
+            compiled = inst.compile()
+            result = api_solve(compiled.hypergraph, method=self.method)
+            self._assign = compiled.assignment_from_dense(
+                result.matching.hedge_of_task
+            )
+            for task, cfg in self._assign.items():
+                pins, w = inst.config(task, cfg)
+                self._load(task, pins, w)
+        self._cursor = _Cursor(
+            position=inst.journal.snapshot(),
+            truncations=inst.journal.truncations,
+        )
+
+    def compact(self) -> float:
+        """Periodic global re-optimisation: solve from scratch and keep
+        the better of (maintained, fresh).  Returns the resulting
+        bottleneck — by construction never above what a from-scratch
+        registry solve of the current content yields."""
+        current = self.bottleneck()  # syncs
+        inst = self.instance
+        if not inst.n_tasks:
+            return current
+        from ..api import solve as api_solve
+
+        compiled = inst.compile()
+        result = api_solve(compiled.hypergraph, method=self.method)
+        if result.makespan < current:
+            self._loads = {u: 0.0 for u in inst.procs()}
+            self._on_proc = {}
+            self._assign = compiled.assignment_from_dense(
+                result.matching.hedge_of_task
+            )
+            for task, cfg in self._assign.items():
+                pins, w = inst.config(task, cfg)
+                self._load(task, pins, w)
+            self.stats.full_solves += 1
+            return result.makespan
+        return current
+
+
+def incremental_solve(hg: TaskHypergraph) -> HyperSemiMatching:
+    """From-scratch entry point of the incremental engine (the
+    registry's ``incremental`` solver): seed a dynamic overlay and
+    return its maintained matching.
+
+    On a static instance this equals the engine's ``auto`` pick; its
+    point is reachability — ``SolveOptions(method="incremental")``,
+    portfolio entries and the CLI all address the dynamic subsystem's
+    pipeline through the one registry.
+    """
+    solver = IncrementalSolver(hg)
+    assignment = solver.assignment()
+    # the maintained assignment speaks (task handle, config index);
+    # translate to *this* hypergraph's hyperedge ids — the dynamic
+    # overlay's canonical compilation may order hyperedges differently,
+    # and the engine caches/validates against the caller's instance
+    hedges = np.empty(hg.n_tasks, dtype=np.int64)
+    for i in range(hg.n_tasks):
+        hedges[i] = hg.task_hedge_ids(i)[assignment[i]]
+    return HyperSemiMatching(hg, hedges)

@@ -8,6 +8,7 @@ Installed as ``semimatch`` (see pyproject).  Examples::
     semimatch singleproc --d 10 --seeds 3
     semimatch list
     semimatch solvers
+    semimatch replay churn.jsonl --compare
 
 ``--scale`` controls which Table I rows run: ``small`` (n=1280),
 ``medium`` (n<=5120) or ``full`` (all 24 families).  Results print as
@@ -118,6 +119,31 @@ def main(argv: list[str] | None = None) -> int:
         help="list the registered solvers (the capability registry)",
     )
 
+    rp = subs.add_parser(
+        "replay",
+        help="replay a JSONL mutation trace through the incremental "
+             "engine (repro.dynamic)",
+    )
+    rp.add_argument("trace", help="trace file (see repro.dynamic.save_trace)")
+    rp.add_argument(
+        "--instance", default=None, metavar="PATH",
+        help="JSON baseline instance, for traces recorded without one",
+    )
+    rp.add_argument(
+        "--method", default="auto",
+        help="registry method for full (re-)solves (default: auto)",
+    )
+    rp.add_argument(
+        "--fallback-ratio", type=float, default=0.25, metavar="R",
+        help="re-solve from scratch when one mutation displaces more "
+             "than R * n_tasks tasks (default: 0.25)",
+    )
+    rp.add_argument(
+        "--compare", action="store_true",
+        help="also re-solve from scratch after every mutation and "
+             "report the incremental speedup",
+    )
+
     sw = subs.add_parser(
         "sweep",
         help="ranking robustness over the (dv, dh) grid (paper §V-A2)",
@@ -178,6 +204,74 @@ def main(argv: list[str] | None = None) -> int:
             "default portfolio: "
             + ", ".join(get_registry().default_portfolio())
         )
+        return 0
+
+    if args.command == "replay":
+        import time
+
+        from ..core.bipartite import BipartiteGraph
+        from ..core.hypergraph import TaskHypergraph
+        from ..dynamic import DynamicInstance, IncrementalSolver, load_trace
+        from ..engine.dispatch import solve_hypergraph
+
+        def baseline_and_trace():
+            baseline, mutations = load_trace(args.trace)
+            if baseline is not None and args.instance is not None:
+                parser.error(
+                    "--instance conflicts with a trace that embeds its "
+                    "baseline; drop the flag to replay the embedded one"
+                )
+            if baseline is None:
+                if args.instance is None:
+                    parser.error(
+                        "trace has no embedded baseline; pass --instance"
+                    )
+                from ..io import load_instance
+
+                inst = load_instance(args.instance)
+                if isinstance(inst, BipartiteGraph):
+                    inst = TaskHypergraph.from_bipartite(inst)
+                baseline = DynamicInstance.from_hypergraph(inst)
+            return baseline, mutations
+
+        baseline, mutations = baseline_and_trace()
+        solver = IncrementalSolver(
+            baseline,
+            method=args.method,
+            fallback_ratio=args.fallback_ratio,
+        )
+        t0 = time.perf_counter()
+        baseline.replay(mutations)
+        t_inc = time.perf_counter() - t0
+        stats = solver.stats
+        print(
+            f"replayed {len(mutations)} mutations in {t_inc:.4f}s "
+            f"({stats.local_repairs} local repairs, "
+            f"{stats.fallbacks} fallbacks, {stats.ls_moves} moves)"
+        )
+        print(
+            f"final: {baseline.n_tasks} tasks on {baseline.n_procs} "
+            f"procs, bottleneck {solver.bottleneck():g}"
+        )
+        if args.compare:
+            fresh, mutations = baseline_and_trace()
+            t0 = time.perf_counter()
+            scratch = None
+            for m in mutations:
+                fresh.apply(m)
+                scratch = solve_hypergraph(
+                    fresh.to_hypergraph(), method=args.method
+                )
+            if scratch is None:  # empty trace: still solve the baseline
+                scratch = solve_hypergraph(
+                    fresh.to_hypergraph(), method=args.method
+                )
+            t_scratch = time.perf_counter() - t0
+            print(
+                f"from-scratch re-solves: {t_scratch:.4f}s "
+                f"(bottleneck {scratch.makespan:g}) -> "
+                f"incremental speedup {t_scratch / max(t_inc, 1e-9):.1f}x"
+            )
         return 0
 
     if args.command == "solve":

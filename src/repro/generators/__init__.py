@@ -1,5 +1,6 @@
 """Instance generators: random families, worst cases, reductions."""
 
+from .churn import churn_trace
 from .adversarial import (
     double_sorted_fooler,
     expected_greedy_fooler,
@@ -24,6 +25,7 @@ from .x3c import (
 )
 
 __all__ = [
+    "churn_trace",
     "hilo_bipartite",
     "hilo_neighbor_lists",
     "fewgmanyg_bipartite",

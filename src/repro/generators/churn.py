@@ -1,0 +1,120 @@
+"""Churn workload generator: mutation traces for the dynamic subsystem.
+
+Real clusters mutate: tasks finish and new ones arrive, processors fail
+and rejoin, execution-time estimates drift.  :func:`churn_trace` turns a
+static instance (e.g. one of the paper's Table I families) into such a
+stream — a list of :class:`~repro.dynamic.Mutation` records that replay
+cleanly onto :meth:`DynamicInstance.from_hypergraph
+<repro.dynamic.DynamicInstance.from_hypergraph>` of the same baseline.
+
+New arrivals are sampled from the baseline's own hyperedge statistics
+(a random existing configuration serves as the template for pin-set
+size and weight), so a long stream keeps the instance within the family
+the paper measured rather than drifting to a different regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InfeasibleError
+from ..core.hypergraph import TaskHypergraph
+from ..dynamic.instance import DynamicInstance
+from ..dynamic.journal import Mutation
+
+__all__ = ["churn_trace"]
+
+
+def churn_trace(
+    baseline: TaskHypergraph,
+    n_events: int,
+    *,
+    seed: int = 0,
+    p_task_swap: float = 0.7,
+    p_weight_drift: float = 0.2,
+    p_proc_churn: float = 0.1,
+) -> list[Mutation]:
+    """Generate ``n_events`` feasibility-preserving mutations.
+
+    Each event is one of (probabilities must sum to 1):
+
+    * **task swap** — a uniformly random task departs and a fresh one
+      arrives, its configurations templated on random baseline
+      hyperedges (this is the paper's workload under turnover);
+    * **weight drift** — one random configuration's execution time is
+      rescaled by a uniform factor in ``[0.7, 1.4]``;
+    * **processor churn** — a random processor fails (skipped in favour
+      of a join when the failure would strand a task) or joins.
+
+    Returns the mutation list; replay it with
+    ``DynamicInstance.from_hypergraph(baseline).replay(trace)``.
+    """
+    if n_events < 0:
+        raise ValueError("n_events must be non-negative")
+    total = p_task_swap + p_weight_drift + p_proc_churn
+    if not np.isclose(total, 1.0):
+        raise ValueError(
+            f"event probabilities must sum to 1, got {total:g}"
+        )
+    rng = np.random.default_rng(seed)
+    scratch = DynamicInstance.from_hypergraph(baseline)
+    # baseline templates for arrivals: (pin-set size, weight) pairs
+    sizes = np.diff(baseline.hedge_ptr)
+    weights = baseline.hedge_w
+    mean_degree = max(
+        1, int(round(baseline.n_hedges / max(baseline.n_tasks, 1)))
+    )
+
+    for _ in range(n_events):
+        roll = rng.random()
+        if roll < p_task_swap and scratch.n_tasks:
+            _swap_task(scratch, rng, sizes, weights, mean_degree)
+        elif roll < p_task_swap + p_weight_drift and scratch.n_tasks:
+            _drift_weight(scratch, rng)
+        else:
+            _churn_processor(scratch, rng)
+    return list(scratch.journal)
+
+
+def _sample_task_configs(
+    inst: DynamicInstance,
+    rng: np.random.Generator,
+    sizes: np.ndarray,
+    weights: np.ndarray,
+    mean_degree: int,
+) -> list[tuple[list[int], float]]:
+    procs = inst.procs()
+    dv = int(rng.integers(1, 2 * mean_degree + 1))
+    confs = []
+    for _ in range(dv):
+        template = int(rng.integers(0, len(sizes))) if len(sizes) else -1
+        size = int(sizes[template]) if template >= 0 else 1
+        size = max(1, min(size, len(procs)))
+        pins = rng.choice(procs, size=size, replace=False)
+        w = float(weights[template]) if template >= 0 else 1.0
+        w *= float(rng.uniform(0.8, 1.25))
+        confs.append(([int(u) for u in pins], w))
+    return confs
+
+
+def _swap_task(inst, rng, sizes, weights, mean_degree) -> None:
+    tasks = inst.tasks()
+    inst.remove_task(int(rng.choice(tasks)))
+    inst.add_task(_sample_task_configs(inst, rng, sizes, weights, mean_degree))
+
+
+def _drift_weight(inst, rng) -> None:
+    task = int(rng.choice(inst.tasks()))
+    configs = inst.task_configs(task)
+    idx, _pins, w = configs[int(rng.integers(0, len(configs)))]
+    inst.update_weight(task, idx, w * float(rng.uniform(0.7, 1.4)))
+
+
+def _churn_processor(inst, rng) -> None:
+    if inst.n_procs > 1 and rng.random() < 0.5:
+        try:
+            inst.remove_processor(int(rng.choice(inst.procs())))
+            return
+        except InfeasibleError:
+            pass  # failure would strand a task: join instead
+    inst.add_processor()

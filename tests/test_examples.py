@@ -50,6 +50,13 @@ def test_certificates_and_kernels():
     assert "dominated dropped" in out
 
 
+def test_dynamic_cluster_small():
+    out = run_example("dynamic_cluster.py", "96", "24", "20")
+    assert "incremental engine" in out
+    assert "faster at equal-or-better bottleneck" in out
+    assert "failure drill" in out
+
+
 def test_batch_portfolio_small():
     out = run_example("batch_portfolio.py", "8", "2")
     assert "solve_many(portfolio)" in out

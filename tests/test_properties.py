@@ -12,7 +12,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import (
-    HYPERGRAPH_ALGORITHMS,
     averaged_work_bound,
     combined_bound,
     exact_singleproc_unit,
@@ -21,6 +20,7 @@ from repro.algorithms import (
     local_search,
     sorted_greedy,
 )
+from repro.api import get_registry
 from repro.core import TaskHypergraph
 from repro.core.validation import (
     assert_valid_hyper_semi_matching,
@@ -33,11 +33,17 @@ from strategies import task_hypergraphs
 UNIQUE_HYP_ALGOS = ("SGH", "VGH", "EGH", "EVG")
 
 
+def _hyp_algo(name: str):
+    """The registry's solver callable (the migrated spelling of the
+    deprecated ``HYPERGRAPH_ALGORITHMS[name]``)."""
+    return get_registry().resolve(name, domain="hypergraph").fn
+
+
 @given(task_hypergraphs(weighted=True))
 @settings(max_examples=40, deadline=None)
 def test_every_heuristic_returns_validated_matching(hg):
     for name in UNIQUE_HYP_ALGOS:
-        m = HYPERGRAPH_ALGORITHMS[name](hg)
+        m = _hyp_algo(name)(hg)
         assert_valid_hyper_semi_matching(hg, m.hedge_of_task)
         oracle = compute_loads_hypergraph(hg, m.hedge_of_task)
         assert np.allclose(m.loads(), oracle)
@@ -50,7 +56,7 @@ def test_local_search_sandwich(hg):
     """greedy >= local-search(greedy) >= optimum >= combined bound."""
     opt = exhaustive_multiproc(hg).makespan
     for name in ("SGH", "EGH"):
-        start = HYPERGRAPH_ALGORITHMS[name](hg)
+        start = _hyp_algo(name)(hg)
         refined = local_search(start)
         assert start.makespan + 1e-9 >= refined.final_makespan
         assert refined.final_makespan + 1e-9 >= opt
@@ -75,7 +81,7 @@ def test_generated_instances_always_solvable(n, p, g, dv, dh, scheme, seed):
     hg.validate()
     lb = averaged_work_bound(hg)
     for name in UNIQUE_HYP_ALGOS:
-        m = HYPERGRAPH_ALGORITHMS[name](hg)
+        m = _hyp_algo(name)(hg)
         assert m.makespan >= lb - 1e-9
 
 
