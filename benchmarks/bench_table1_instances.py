@@ -17,8 +17,11 @@ from conftest import SEEDS, bench_specs
 
 
 @pytest.mark.parametrize("spec", bench_specs(), ids=lambda s: s.name)
-def test_generate_instance(benchmark, spec):
-    seed_cycle = iter(range(10_000))
+def test_generate_instance(benchmark, bench_seed, spec):
+    # a per-test cycle rooted at --bench-seed: which seeds a timing
+    # round sees no longer depends on how many rounds pytest-benchmark
+    # chose for *other* tests, so numbers reproduce run-to-run
+    seed_cycle = iter(range(bench_seed, bench_seed + 10_000))
 
     def gen():
         return spec.generate(next(seed_cycle))
@@ -27,7 +30,7 @@ def test_generate_instance(benchmark, spec):
 
     hedge_counts = []
     pin_counts = []
-    for s in range(SEEDS):
+    for s in range(bench_seed, bench_seed + SEEDS):
         h = spec.generate(s)
         hedge_counts.append(h.n_hedges)
         pin_counts.append(h.total_pins)

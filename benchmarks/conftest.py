@@ -8,6 +8,12 @@ reproductions):
 * ``SEMIMATCH_BENCH_SEEDS`` — random instances per family (default 3;
   paper protocol is 10).
 
+One pytest option, ``--bench-seed`` (default 0), is the single root
+every benchmark's instance seeds derive from: the ``seeds`` fixture
+yields ``range(bench_seed, bench_seed + SEEDS)`` and per-test instance
+generation offsets from it, so BENCH json numbers are reproducible
+run-to-run (and shiftable deliberately, never accidentally).
+
 Quality numbers (makespan / LB and the paper's printed value) are attached
 to each benchmark via ``extra_info``, so ``--benchmark-json`` output
 carries the full paper-vs-measured comparison.
@@ -58,6 +64,22 @@ def cached_lower_bound(name: str, weights: str, seed: int) -> float:
     return averaged_work_bound(cached_instance(name, weights, seed))
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-seed",
+        type=int,
+        default=0,
+        help="root seed every benchmark instance derives from "
+        "(default 0; fixed so BENCH json numbers reproduce)",
+    )
+
+
 @pytest.fixture(scope="session")
-def seeds() -> range:
-    return range(SEEDS)
+def bench_seed(request) -> int:
+    """The run's root seed (``--bench-seed``)."""
+    return request.config.getoption("--bench-seed")
+
+
+@pytest.fixture(scope="session")
+def seeds(bench_seed) -> range:
+    return range(bench_seed, bench_seed + SEEDS)

@@ -9,7 +9,40 @@ tasks and processors, solve it, and inspect the schedule.
 Run:  python examples/quickstart.py
 """
 
+import time
+
 from repro import SchedulingProblem, averaged_work_bound, solve
+
+
+def backend_demo() -> None:
+    """The backend switch: identical matchings, kernel-speed solves."""
+    import numpy as np
+
+    from repro.engine.dispatch import solve_hypergraph
+    from repro.generators import generate_multiproc
+    from repro.kernels import compile_instance
+
+    hg = generate_multiproc(
+        2560, 512, family="fewgmanyg", g=16, dv=5, dh=10,
+        weights="related", seed=0,
+    )
+    compile_instance(hg)  # compiled once, cached by content digest
+
+    t0 = time.perf_counter()
+    slow = solve_hypergraph(hg, method="EVG", backend="python")
+    t_py = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast = solve_hypergraph(hg, method="EVG", backend="numpy")
+    t_np = time.perf_counter() - t0
+
+    assert np.array_equal(slow.hedge_of_task, fast.hedge_of_task)
+    print(
+        f"EVG on {hg.n_tasks} tasks x {hg.n_procs} procs: "
+        f"python backend {t_py * 1000:.0f} ms, "
+        f"numpy kernels {t_np * 1000:.0f} ms "
+        f"-> {t_py / max(t_np, 1e-9):.1f}x speedup, "
+        "bit-identical matching"
+    )
 
 
 def main() -> None:
@@ -36,6 +69,12 @@ def main() -> None:
     lb = averaged_work_bound(prob.to_hypergraph(), integral=False)
     print(f"Averaged-work lower bound (paper eq. (1)): {lb:.2f}")
     print(f"Achieved makespan:                         {schedule.makespan:g}")
+    print()
+
+    # The same solvers scale to thousands of tasks on the vectorized
+    # kernel backend (the default); backend="python" keeps the original
+    # loops around as a bit-identical oracle.
+    backend_demo()
 
 
 if __name__ == "__main__":

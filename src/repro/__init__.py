@@ -94,6 +94,7 @@ from .core import (
 )
 from .dynamic import DynamicInstance, IncrementalSolver
 from .engine import BatchSolver, ResultCache, solve_many
+from .kernels import CompiledKernels, compile_instance
 from .generators import churn_trace, generate_multiproc
 from .sched import Schedule, SchedulingProblem, TaskSpec, solve
 
@@ -130,6 +131,9 @@ __all__ = [
     "BatchSolver",
     "ResultCache",
     "solve_many",
+    # kernel core
+    "CompiledKernels",
+    "compile_instance",
     # dynamic subsystem
     "DynamicInstance",
     "IncrementalSolver",

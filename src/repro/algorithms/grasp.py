@@ -27,6 +27,7 @@ import numpy as np
 from ..core.errors import InfeasibleError
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching
+from ..kernels import check_backend, compile_instance
 from .._util import as_rng, stable_argsort
 from .local_search import local_search
 
@@ -51,15 +52,19 @@ def randomized_greedy(
     *,
     alpha: float = 0.1,
     seed: int | np.random.Generator | None = None,
+    backend: str = "numpy",
 ) -> HyperSemiMatching:
     """One randomised sorted-greedy-hyp construction.
 
     For each task (by non-decreasing degree) the RCL holds every
     configuration whose resulting bottleneck is within
     ``best + alpha * max(best, 1)``; the choice is uniform over the RCL.
+    Both backends compute identical candidate keys (hence identical
+    RCLs), so for a fixed seed they draw identical assignments.
     """
     if alpha < 0:
         raise ValueError("alpha must be non-negative")
+    check_backend(backend)
     if np.any(np.diff(hg.task_ptr) == 0):
         bad = int(np.flatnonzero(np.diff(hg.task_ptr) == 0)[0])
         raise InfeasibleError(f"task {bad} has no configuration")
@@ -67,6 +72,27 @@ def randomized_greedy(
     loads = np.zeros(hg.n_procs, dtype=np.float64)
     assign = np.empty(hg.n_tasks, dtype=np.int64)
     hptr, hprocs, w = hg.hedge_ptr, hg.hedge_procs, hg.hedge_w
+
+    if backend == "numpy":
+        ci = compile_instance(hg)
+        tptr = hg.task_ptr
+        gptr, gpins, gw, ghedge = ci.g_ptr, ci.g_pins, ci.g_w, ci.g_hedge
+        for v in stable_argsort(hg.task_degrees()):
+            a, b = tptr[v], tptr[v + 1]
+            p0 = gptr[a]
+            # max(l(u)) + w == max(l(u) + w): fold the lookahead into
+            # the reduceat so one call yields every candidate's key
+            keys = np.maximum.reduceat(
+                loads[gpins[p0 : gptr[b]]] + ci.g_pin_w[p0 : gptr[b]],
+                gptr[a:b] - p0,
+            )
+            best = keys.min()
+            rcl = np.flatnonzero(keys <= best + alpha * max(best, 1.0))
+            k = a + int(rng.choice(rcl))
+            h = int(ghedge[k])
+            assign[v] = h
+            loads[hprocs[hptr[h] : hptr[h + 1]]] += w[h]
+        return HyperSemiMatching(hg, assign)
 
     for v in stable_argsort(hg.task_degrees()):
         hedges = hg.task_hedge_ids(v)
@@ -93,6 +119,7 @@ def grasp(
     seed: int | np.random.Generator | None = None,
     improve: bool = True,
     max_ls_rounds: int = 200,
+    backend: str = "numpy",
 ) -> GraspReport:
     """Multi-start randomised greedy with local-search improvement.
 
@@ -101,14 +128,19 @@ def grasp(
     """
     if iterations < 1:
         raise ValueError("iterations must be at least 1")
+    check_backend(backend)
     rng = as_rng(seed)
     best: HyperSemiMatching | None = None
     best_iter = 0
     history: list[float] = []
     for it in range(iterations):
-        m = randomized_greedy(hg, alpha=alpha if it else 0.0, seed=rng)
+        m = randomized_greedy(
+            hg, alpha=alpha if it else 0.0, seed=rng, backend=backend
+        )
         if improve:
-            m = local_search(m, max_rounds=max_ls_rounds).matching
+            m = local_search(
+                m, max_rounds=max_ls_rounds, backend=backend
+            ).matching
         history.append(m.makespan)
         if best is None or m.makespan < best.makespan:
             best = m

@@ -14,13 +14,25 @@ The four MULTIPROC heuristics evaluated in Tables II and III:
 * :func:`expected_vector_greedy_hyp` (EVG) — vector ranking on
   tentatively-realised expected loads.
 
+Every heuristic runs on one of two backends:
+
+* ``backend="numpy"`` (default) — the vectorized CSR kernel core of
+  :mod:`repro.kernels`: the instance is compiled once (cached by content
+  digest) and each greedy step is a handful of array operations over the
+  task-grouped arrays.  The kernels perform the same floating-point
+  operations in the same order as the loops below, so the matchings are
+  **bit-identical** (asserted by ``tests/test_conformance.py``).
+* ``backend="python"`` — the original per-candidate loops, kept as the
+  conformance oracle and for step-by-step debugging.
+
 Vector comparisons use the multiset-difference lemma of
 :mod:`repro.core.loadvec`: two candidates only disagree on the processors
 they touch, so the descending-lex order of the full length-``p`` vectors
 equals the order of the small affected-value multisets.  This is the
 asymptotically faster variant the paper describes in Section IV-D3;
 ``method="naive"`` switches to the full-vector comparison the paper's
-Matlab code used (kept for tests and timing ablations).
+Matlab code used (kept for tests and timing ablations; it always runs on
+the Python path).
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ from ..core.errors import InfeasibleError
 from ..core.hypergraph import TaskHypergraph
 from ..core.loadvec import lex_compare_desc, lex_compare_multisets, sorted_desc
 from ..core.semimatching import HyperSemiMatching
+from ..kernels import check_backend, compile_instance, lex_best_row
 from .._util import stable_argsort
 
 __all__ = [
@@ -53,11 +66,15 @@ def _visit_order(hg: TaskHypergraph, sort_by_degree: bool) -> np.ndarray:
     return np.arange(hg.n_tasks, dtype=np.int64)
 
 
+# ---------------------------------------------------------------------------
+# SGH
+# ---------------------------------------------------------------------------
 def sorted_greedy_hyp(
     hg: TaskHypergraph,
     *,
     lookahead: bool = True,
     sort_by_degree: bool = True,
+    backend: str = "numpy",
 ) -> HyperSemiMatching:
     """Algorithm 4 (SGH): minimise the chosen configuration's bottleneck.
 
@@ -69,7 +86,16 @@ def sorted_greedy_hyp(
     equal weight, and DESIGN.md discusses the discrepancy.  Runs in
     ``O(sum_h |h|)``.
     """
+    check_backend(backend)
     _check_feasible(hg)
+    if backend == "python":
+        return _sgh_python(hg, lookahead, sort_by_degree)
+    return _sgh_numpy(hg, lookahead, sort_by_degree)
+
+
+def _sgh_python(
+    hg: TaskHypergraph, lookahead: bool, sort_by_degree: bool
+) -> HyperSemiMatching:
     loads = np.zeros(hg.n_procs, dtype=np.float64)
     hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
     hptr, hprocs, w = hg.hedge_ptr, hg.hedge_procs, hg.hedge_w
@@ -89,11 +115,43 @@ def sorted_greedy_hyp(
     return HyperSemiMatching(hg, hedge_of_task)
 
 
+def _sgh_numpy(
+    hg: TaskHypergraph, lookahead: bool, sort_by_degree: bool
+) -> HyperSemiMatching:
+    ci = compile_instance(hg)
+    loads = np.zeros(hg.n_procs, dtype=np.float64)
+    hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
+    tptr = hg.task_ptr
+    gptr, gpins, gw, ghedge = ci.g_ptr, ci.g_pins, ci.g_w, ci.g_hedge
+    maximum_reduceat = np.maximum.reduceat
+
+    for v in _visit_order(hg, sort_by_degree):
+        a, b = tptr[v], tptr[v + 1]
+        p0 = gptr[a]
+        if b - a == 1:
+            k = a
+        else:
+            keys = maximum_reduceat(
+                loads[gpins[p0 : gptr[b]]], gptr[a:b] - p0
+            )
+            if lookahead:
+                keys = keys + gw[a:b]
+            k = a + int(np.argmin(keys))
+        hedge_of_task[v] = ghedge[k]
+        loads[gpins[gptr[k] : gptr[k + 1]]] += gw[k]
+
+    return HyperSemiMatching(hg, hedge_of_task)
+
+
+# ---------------------------------------------------------------------------
+# VGH
+# ---------------------------------------------------------------------------
 def vector_greedy_hyp(
     hg: TaskHypergraph,
     *,
     method: str = "fast",
     sort_by_degree: bool = True,
+    backend: str = "numpy",
 ) -> HyperSemiMatching:
     """VGH: rank candidate hyperedges by the full resulting load vector.
 
@@ -107,11 +165,20 @@ def vector_greedy_hyp(
     ``O(sum_v d_v * s log s)`` with ``s`` the configuration size.
     ``method="naive"`` sorts the full vector per candidate —
     ``O(sum_v d_v * p log p)``, the complexity the paper reports for its
-    own implementation.
+    own implementation — and always runs on the Python path.
     """
     if method not in ("fast", "naive"):
         raise ValueError(f"method must be 'fast' or 'naive', got {method!r}")
+    check_backend(backend)
     _check_feasible(hg)
+    if backend == "python" or method == "naive":
+        return _vgh_python(hg, method, sort_by_degree)
+    return _vgh_numpy(hg, sort_by_degree)
+
+
+def _vgh_python(
+    hg: TaskHypergraph, method: str, sort_by_degree: bool
+) -> HyperSemiMatching:
     loads = np.zeros(hg.n_procs, dtype=np.float64)
     hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
     hptr, hprocs, w = hg.hedge_ptr, hg.hedge_procs, hg.hedge_w
@@ -153,6 +220,39 @@ def vector_greedy_hyp(
     return HyperSemiMatching(hg, hedge_of_task)
 
 
+def _vgh_numpy(
+    hg: TaskHypergraph, sort_by_degree: bool
+) -> HyperSemiMatching:
+    ci = compile_instance(hg)
+    loads = np.zeros(hg.n_procs, dtype=np.float64)
+    hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
+    tptr = hg.task_ptr
+    gptr, gpins, gw, ghedge = ci.g_ptr, ci.g_pins, ci.g_w, ci.g_hedge
+    uptr, uprocs = ci.u_ptr, ci.u_procs
+    pin_w, pin_row, pin_pos = ci.g_pin_w, ci.g_pin_row, ci.g_pin_pos
+
+    for v in _visit_order(hg, sort_by_degree):
+        a, b = tptr[v], tptr[v + 1]
+        if b - a == 1:
+            k = a
+        else:
+            # All candidates compared at once over the task's pin-union:
+            # row i is the resulting loads of candidate i restricted to
+            # the union (sound by the multiset lemma).
+            p0, p1 = gptr[a], gptr[b]
+            base = loads[uprocs[uptr[v] : uptr[v + 1]]]
+            rows = np.repeat(base[None, :], b - a, axis=0)
+            rows[pin_row[p0:p1], pin_pos[p0:p1]] += pin_w[p0:p1]
+            k = a + lex_best_row(rows)
+        hedge_of_task[v] = ghedge[k]
+        loads[gpins[gptr[k] : gptr[k + 1]]] += gw[k]
+
+    return HyperSemiMatching(hg, hedge_of_task)
+
+
+# ---------------------------------------------------------------------------
+# EGH
+# ---------------------------------------------------------------------------
 def _expected_loads(hg: TaskHypergraph) -> np.ndarray:
     """Initial ``o(u)``: every configuration spreads ``w_h/d_v`` over its
     pins (Algorithm 5, lines 1-6)."""
@@ -168,6 +268,7 @@ def expected_greedy_hyp(
     *,
     lookahead: bool = True,
     sort_by_degree: bool = True,
+    backend: str = "numpy",
 ) -> HyperSemiMatching:
     """Algorithm 5 (EGH): SGH driven by expected loads ``o(u)``.
 
@@ -179,7 +280,16 @@ def expected_greedy_hyp(
     pseudocode does, so on termination ``o`` equals the true loads.
     ``O(sum_h |h|)``.
     """
+    check_backend(backend)
     _check_feasible(hg)
+    if backend == "python":
+        return _egh_python(hg, lookahead, sort_by_degree)
+    return _egh_numpy(hg, lookahead, sort_by_degree)
+
+
+def _egh_python(
+    hg: TaskHypergraph, lookahead: bool, sort_by_degree: bool
+) -> HyperSemiMatching:
     o = _expected_loads(hg)
     hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
     hptr, hprocs, w = hg.hedge_ptr, hg.hedge_procs, hg.hedge_w
@@ -209,11 +319,56 @@ def expected_greedy_hyp(
     return HyperSemiMatching(hg, hedge_of_task)
 
 
+def _egh_numpy(
+    hg: TaskHypergraph, lookahead: bool, sort_by_degree: bool
+) -> HyperSemiMatching:
+    ci = compile_instance(hg)
+    o = _expected_loads(hg)
+    hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
+    tptr = hg.task_ptr
+    gptr, gpins, gw, ghedge, gsize = (
+        ci.g_ptr,
+        ci.g_pins,
+        ci.g_w,
+        ci.g_hedge,
+        ci.g_size,
+    )
+    maximum_reduceat = np.maximum.reduceat
+
+    for v in _visit_order(hg, sort_by_degree):
+        a, b = tptr[v], tptr[v + 1]
+        dv = float(b - a)
+        p0, p1 = gptr[a], gptr[b]
+        wslice = gw[a:b]
+        share = wslice / dv
+        if b - a == 1:
+            j = 0
+        else:
+            keys = maximum_reduceat(o[gpins[p0:p1]], gptr[a:b] - p0)
+            if lookahead:
+                keys = keys + (wslice - share)
+            j = int(np.argmin(keys))
+        k = a + j
+        hedge_of_task[v] = ghedge[k]
+        # collapse the distribution: the chosen candidate realises
+        # (w - w/d_v), the siblings withdraw their shares — applied in
+        # candidate order, matching the Python loop's accumulation
+        delta = -share
+        delta[j] = wslice[j] - share[j]
+        np.add.at(o, gpins[p0:p1], np.repeat(delta, gsize[a:b]))
+
+    return HyperSemiMatching(hg, hedge_of_task)
+
+
+# ---------------------------------------------------------------------------
+# EVG
+# ---------------------------------------------------------------------------
 def expected_vector_greedy_hyp(
     hg: TaskHypergraph,
     *,
     method: str = "fast",
     sort_by_degree: bool = True,
+    backend: str = "numpy",
 ) -> HyperSemiMatching:
     """EVG: vector ranking over tentatively-realised expected loads.
 
@@ -224,11 +379,21 @@ def expected_vector_greedy_hyp(
     share the same affected set — the union of all of ``v``'s pins — so
     with ``method="fast"`` each comparison sorts only that union.  The
     paper gives the complexity ``O(sum_v d_v |V2| + sum_v d_v sum_{h in v}
-    |h|)`` for the naive variant (``method="naive"``).
+    |h|)`` for the naive variant (``method="naive"``, always on the
+    Python path).
     """
     if method not in ("fast", "naive"):
         raise ValueError(f"method must be 'fast' or 'naive', got {method!r}")
+    check_backend(backend)
     _check_feasible(hg)
+    if backend == "python" or method == "naive":
+        return _evg_python(hg, method, sort_by_degree)
+    return _evg_numpy(hg, sort_by_degree)
+
+
+def _evg_python(
+    hg: TaskHypergraph, method: str, sort_by_degree: bool
+) -> HyperSemiMatching:
     o = _expected_loads(hg)
     hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
     hptr, hprocs, w = hg.hedge_ptr, hg.hedge_procs, hg.hedge_w
@@ -276,5 +441,47 @@ def expected_vector_greedy_hyp(
         final = common.copy()
         final[np.searchsorted(aff, pin_slices[best_i])] += w[best_h]
         o[aff] = final
+
+    return HyperSemiMatching(hg, hedge_of_task)
+
+
+def _evg_numpy(
+    hg: TaskHypergraph, sort_by_degree: bool
+) -> HyperSemiMatching:
+    ci = compile_instance(hg)
+    o = _expected_loads(hg)
+    hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
+    tptr = hg.task_ptr
+    gptr, gw, ghedge = ci.g_ptr, ci.g_w, ci.g_hedge
+    uptr, uprocs = ci.u_ptr, ci.u_procs
+    pin_w, pin_row, pin_pos = ci.g_pin_w, ci.g_pin_row, ci.g_pin_pos
+
+    for v in _visit_order(hg, sort_by_degree):
+        a, b = tptr[v], tptr[v + 1]
+        dv = float(b - a)
+        p0, p1 = gptr[a], gptr[b]
+        u0, u1 = uptr[v], uptr[v + 1]
+        pos = pin_pos[p0:p1]
+        # every sibling withdraws its share, in candidate order (the
+        # elementwise subtract.at matches the Python loop's order; the
+        # buffered fancy subtract is identical — and cheaper — when no
+        # processor appears in two of the task's candidates)
+        common = o[uprocs[u0:u1]].copy()
+        if p1 - p0 == u1 - u0:
+            common[pos] -= pin_w[p0:p1] / dv
+        else:
+            np.subtract.at(common, pos, pin_w[p0:p1] / dv)
+        if b - a == 1:
+            j = 0
+            final = common
+            final[pos] += pin_w[p0:p1]
+        else:
+            rows = np.repeat(common[None, :], b - a, axis=0)
+            rows[pin_row[p0:p1], pos] += pin_w[p0:p1]
+            j = lex_best_row(rows)
+            final = rows[j]
+        k = a + j
+        hedge_of_task[v] = ghedge[k]
+        o[uprocs[u0:u1]] = final
 
     return HyperSemiMatching(hg, hedge_of_task)

@@ -58,6 +58,7 @@ class EvalContext:
     registry: SolverRegistry
     seed: int = 0
     deadline: float | None = None  # perf_counter() deadline, or None
+    backend: str = "numpy"  # kernel backend for backend-aware solvers
 
 
 @dataclass(frozen=True)
@@ -86,7 +87,7 @@ class Outcome:
 
 
 def _lift_bipartite(
-    hg: TaskHypergraph, spec: SolverSpec, seed: int
+    hg: TaskHypergraph, spec: SolverSpec, ctx: "EvalContext"
 ) -> HyperSemiMatching:
     """Run a bipartite solver on a SINGLEPROC hypergraph.
 
@@ -96,7 +97,7 @@ def _lift_bipartite(
     ``argsort(hedge_task, stable)[j]``.
     """
     graph = hg.to_bipartite()
-    sm = spec.run(graph, seed=seed)
+    sm = spec.run(graph, seed=ctx.seed, backend=ctx.backend)
     edge_to_hedge = np.argsort(hg.hedge_task, kind="stable")
     return HyperSemiMatching(hg, edge_to_hedge[sm.edge_of_task])
 
@@ -108,7 +109,7 @@ def _instance_trait(hg: TaskHypergraph) -> str:
 
 
 def _run_spec(
-    hg: TaskHypergraph, spec: SolverSpec, seed: int
+    hg: TaskHypergraph, spec: SolverSpec, ctx: "EvalContext"
 ) -> HyperSemiMatching:
     if spec.domain == "bipartite":
         if not hg.is_bipartite_graph():
@@ -116,8 +117,8 @@ def _run_spec(
                 f"{spec.name!r} is a SINGLEPROC algorithm but the problem "
                 "has parallel tasks"
             )
-        return _lift_bipartite(hg, spec, seed)
-    return spec.run(hg, seed=seed)
+        return _lift_bipartite(hg, spec, ctx)
+    return spec.run(hg, seed=ctx.seed, backend=ctx.backend)
 
 
 def evaluate(
@@ -211,7 +212,7 @@ class Solver(MethodExpr):
     def _evaluate(self, hg, ctx):
         spec = ctx.registry.resolve(self.name)
         return Outcome(
-            _run_spec(hg, spec, ctx.seed),
+            _run_spec(hg, spec, ctx),
             winner=spec.name,
         )
 
@@ -248,7 +249,7 @@ class Refine(MethodExpr):
         if outcome.refine_noop:
             return outcome
         return Outcome(
-            local_search(outcome.matching).matching,
+            local_search(outcome.matching, backend=ctx.backend).matching,
             winner=outcome.winner,
             entries=outcome.entries,
         )
@@ -355,7 +356,7 @@ class Auto(MethodExpr):
     def _evaluate(self, hg, ctx):
         spec = ctx.registry.recommended(_instance_trait(hg))
         return Outcome(
-            _run_spec(hg, spec, ctx.seed),
+            _run_spec(hg, spec, ctx),
             winner=spec.name,
             # an exact auto-pick is already optimal: Refine skips it
             refine_noop="exact" in spec.capabilities,

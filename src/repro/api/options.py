@@ -34,6 +34,7 @@ from .methods import (
     parse_method,
 )
 from .registry import SolverRegistry, get_registry
+from ..kernels import check_backend
 
 __all__ = ["SolveOptions"]
 
@@ -64,6 +65,13 @@ class SolveOptions:
         disables the budget.  Budgeted portfolio results depend on
         machine speed and are therefore excluded from result caching
         only through the key (the budget is part of it).
+    backend:
+        Kernel execution backend for backend-aware solvers:
+        ``"numpy"`` (default, the vectorized CSR kernels of
+        :mod:`repro.kernels`) or ``"python"`` (the original loops, the
+        conformance oracle).  Matchings are bit-identical either way;
+        the backend still enters the cache key so timing-sensitive
+        sweeps can pin one.
     """
 
     method: MethodLike = "auto"
@@ -71,6 +79,7 @@ class SolveOptions:
     seed: int = 0
     portfolio: tuple[MethodLike, ...] | None = None
     time_budget: float | None = None
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if not isinstance(self.method, (str, MethodExpr)):
@@ -87,6 +96,7 @@ class SolveOptions:
             object.__setattr__(self, "portfolio", tuple(self.portfolio))
         if self.time_budget is not None and self.time_budget <= 0:
             raise ValueError("time_budget must be positive")
+        check_backend(self.backend)
         object.__setattr__(self, "seed", int(self.seed))
 
     # ------------------------------------------------------------------
@@ -176,6 +186,7 @@ class SolveOptions:
             expr.canonical(),
             self.seed if expr.is_randomized(registry) else None,
             self.time_budget,
+            self.backend,
         )
 
     def describe(self) -> str:
@@ -186,4 +197,6 @@ class SolveOptions:
             bits.append(f"seed={self.seed}")
         if self.time_budget is not None:
             bits.append(f"time_budget={self.time_budget:g}s")
+        if self.backend != "numpy":
+            bits.append(f"backend={self.backend}")
         return " ".join(bits)

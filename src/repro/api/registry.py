@@ -57,6 +57,7 @@ class SolverSpec:
     recommended_for: frozenset[str] = frozenset()
     in_default_portfolio: bool = False
     needs_seed: bool = False
+    needs_backend: bool = False
     summary: str = ""
 
     def __post_init__(self) -> None:
@@ -73,11 +74,15 @@ class SolverSpec:
             self, "recommended_for", frozenset(self.recommended_for)
         )
 
-    def run(self, instance, *, seed: int = 0):
-        """Invoke the solver, passing ``seed`` only when it wants one."""
+    def run(self, instance, *, seed: int = 0, backend: str = "numpy"):
+        """Invoke the solver, passing ``seed``/``backend`` only when the
+        registration declared it wants them."""
+        kwargs = {}
         if self.needs_seed:
-            return self.fn(instance, seed=seed)
-        return self.fn(instance)
+            kwargs["seed"] = seed
+        if self.needs_backend:
+            kwargs["backend"] = backend
+        return self.fn(instance, **kwargs)
 
     @property
     def is_randomized(self) -> bool:
@@ -263,18 +268,19 @@ class SolverRegistry:
         and the ``semimatch solvers`` CLI command)."""
         rows = [
             "| Name | Aliases | Domain | Capabilities | Auto-selected for "
-            "| Portfolio | Summary |",
-            "|---|---|---|---|---|---|---|",
+            "| Portfolio | Kernels | Summary |",
+            "|---|---|---|---|---|---|---|---|",
         ]
         for s in self._specs.values():
             rows.append(
-                "| `{}` | {} | {} | {} | {} | {} | {} |".format(
+                "| `{}` | {} | {} | {} | {} | {} | {} | {} |".format(
                     s.name,
                     ", ".join(f"`{a}`" for a in s.aliases) or "—",
                     s.domain,
                     ", ".join(sorted(s.capabilities)) or "—",
                     ", ".join(sorted(s.recommended_for)) or "—",
                     "yes" if s.in_default_portfolio else "no",
+                    "yes" if s.needs_backend else "no",
                     s.summary or "—",
                 )
             )
@@ -299,6 +305,7 @@ def register_solver(
     recommended_for: Iterable[str] = (),
     portfolio: bool = False,
     needs_seed: bool = False,
+    needs_backend: bool = False,
     summary: str = "",
     registry: SolverRegistry | None = None,
 ) -> Callable[[Callable], Callable]:
@@ -309,8 +316,11 @@ def register_solver(
     ... def my_heuristic(hg):
     ...     ...
 
-    The callable is returned unchanged, so modules can still export and
-    call it directly.
+    ``needs_backend=True`` declares the callable accepts a
+    ``backend=`` keyword ("numpy"/"python") and is held to bit-equal
+    results across backends by the conformance suite.  The callable is
+    returned unchanged, so modules can still export and call it
+    directly.
     """
 
     def decorate(fn: Callable) -> Callable:
@@ -325,6 +335,7 @@ def register_solver(
                 recommended_for=frozenset(recommended_for),
                 in_default_portfolio=portfolio,
                 needs_seed=needs_seed,
+                needs_backend=needs_backend,
                 summary=summary or (fn.__doc__ or "").strip().split("\n")[0],
             )
         )

@@ -42,6 +42,7 @@ __all__: list[str] = []
 register_solver(
     name="SGH",
     domain="hypergraph",
+    needs_backend=True,
     aliases=("sorted-greedy-hyp",),
     capabilities={"greedy", "weighted"},
     portfolio=True,
@@ -51,6 +52,7 @@ register_solver(
 register_solver(
     name="VGH",
     domain="hypergraph",
+    needs_backend=True,
     aliases=("vector-greedy-hyp",),
     capabilities={"greedy", "weighted"},
     recommended_for={"hypergraph:unit"},
@@ -61,6 +63,7 @@ register_solver(
 register_solver(
     name="EGH",
     domain="hypergraph",
+    needs_backend=True,
     aliases=("expected-greedy-hyp",),
     capabilities={"greedy", "weighted"},
     portfolio=True,
@@ -70,6 +73,7 @@ register_solver(
 register_solver(
     name="EVG",
     domain="hypergraph",
+    needs_backend=True,
     aliases=("expected-vector-greedy-hyp",),
     capabilities={"greedy", "weighted"},
     recommended_for={"hypergraph:weighted"},
@@ -85,12 +89,13 @@ register_solver(
     capabilities={"randomized", "weighted"},
     portfolio=True,
     needs_seed=True,
+    needs_backend=True,
     summary="Multi-start randomized greedy + local search (GRASP).",
 )
-def _grasp(hg, *, seed: int = 0):
+def _grasp(hg, *, seed: int = 0, backend: str = "numpy"):
     from ..algorithms.grasp import grasp
 
-    return grasp(hg, seed=seed).matching
+    return grasp(hg, seed=seed, backend=backend).matching
 
 
 register_solver(

@@ -128,12 +128,14 @@ class SemiMatching:
 def _loads_hyper(
     hg: "TaskHypergraph", hedge_of_task: np.ndarray
 ) -> np.ndarray:
-    loads = np.zeros(hg.n_procs, dtype=np.float64)
-    sizes = np.diff(hg.hedge_ptr)
-    for h in hedge_of_task:
-        lo = hg.hedge_ptr[h]
-        loads[hg.hedge_procs[lo : lo + sizes[h]]] += hg.hedge_w[h]
-    return loads
+    """Batched load-vector accumulation: one gather + one ``np.add.at``
+    instead of a per-task loop.  ``add.at`` applies elementwise in index
+    order, so the float accumulation order (and every bit of the
+    result) matches the historical loop."""
+    # function-level import: core must stay importable before kernels
+    from ..kernels.ops import loads_from_assignment
+
+    return loads_from_assignment(hg, hedge_of_task)
 
 
 @dataclass(frozen=True)

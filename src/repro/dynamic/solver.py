@@ -16,9 +16,13 @@ the delta journal —
 and every direct fix is followed by a *bounded local search*: the
 vector-improving single-task moves of
 :func:`repro.algorithms.local_search`, restricted to tasks assigned
-inside the repair region and capped by a move budget.  Accepted moves
-strictly improve the multiset-lexicographic load vector, so the global
-bottleneck never worsens through repair.
+inside the repair region and capped by a move budget.  Candidate moves
+are screened by their affected maxima and the residual ties resolved
+through the kernels' batched move evaluation
+(:func:`repro.kernels.batch_lex_signs`) — the same primitive the
+static local search runs on.  Accepted moves strictly improve the
+multiset-lexicographic load vector, so the global bottleneck never
+worsens through repair.
 
 When one mutation displaces more than ``max(min_fallback_region,
 fallback_ratio * n_tasks)`` tasks the solver gives up on locality
@@ -43,8 +47,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.hypergraph import TaskHypergraph
-from ..core.loadvec import lex_compare_multisets
 from ..core.semimatching import HyperSemiMatching
+from ..kernels import first_lex_improving
 from .instance import DynamicInstance
 from .journal import Mutation
 
@@ -317,25 +321,75 @@ class IncrementalSolver:
         return best_pins
 
     # -- bounded local search -------------------------------------------
-    def _move_gain(
-        self,
-        old_pins: tuple[int, ...],
-        old_w: float,
-        new_pins: tuple[int, ...],
-        new_w: float,
-    ) -> int:
-        """Multiset-lex comparison of loads after vs before the move
-        over the affected processors (< 0 means the move improves)."""
-        affected = sorted(set(old_pins) | set(new_pins))
-        before = np.array([self._loads[u] for u in affected])
-        after = before.copy()
-        old_set, new_set = set(old_pins), set(new_pins)
-        for i, u in enumerate(affected):
-            if u in old_set:
-                after[i] -= old_w
-            if u in new_set:
-                after[i] += new_w
-        return lex_compare_multisets(after, before)
+    #: candidate moves evaluated per kernel batch during repair
+    _MOVE_CHUNK = 32
+
+    @staticmethod
+    def _first_improving_of(pending) -> tuple | None:
+        """Kernel-evaluate buffered maybe-moves; first improving or
+        None.  ``pending`` holds ``(move, before, after)`` rows in scan
+        order, padded here with ``-inf`` to a rectangle."""
+        if not pending:
+            return None
+        kmax = max(len(before) for _, before, _ in pending)
+        pad = [-np.inf] * kmax
+        b = np.array([r + pad[len(r) :] for _, r, _ in pending])
+        a = np.array([r + pad[len(r) :] for _, _, r in pending])
+        i = first_lex_improving(a, b)
+        return pending[i][0] if i is not None else None
+
+    def _first_improving_move(self, region: set[int], peak: float):
+        """The first vector-improving move in scan order (region procs
+        ascending, their tasks ascending, configurations in index
+        order).
+
+        Most moves are decided by their affected maxima alone (the
+        first entry of the descending multisets): a larger maximum
+        cannot improve, a smaller one certainly does.  Only
+        equal-maxima moves need the full comparison, and those buffer
+        up for the batched move-evaluation kernel
+        (:func:`repro.kernels.batch_lex_signs`) instead of one
+        comparison call per candidate move.
+        """
+        loads = self._loads
+        seen: set[tuple[int, int]] = set()
+        pending: list[tuple[tuple, list, list]] = []
+        for u in sorted(region):
+            if loads.get(u, -1.0) < peak - 1e-12:
+                continue
+            for task in sorted(self._on_proc.get(u, set())):
+                cur = self._assign[task]
+                cur_pins, cur_w, _ = self.instance.config_any(task, cur)
+                old_set = set(cur_pins)
+                for cfg, pins, w in self.instance.task_configs(task):
+                    if cfg == cur or (task, cfg) in seen:
+                        continue
+                    seen.add((task, cfg))
+                    affected = sorted(old_set | set(pins))
+                    before = [loads[x] for x in affected]
+                    new_set = set(pins)
+                    after = list(before)
+                    for i, x in enumerate(affected):
+                        if x in old_set:
+                            after[i] -= cur_w
+                        if x in new_set:
+                            after[i] += w
+                    ma, mb = max(after), max(before)
+                    if ma > mb:
+                        continue  # lex-larger for sure: not a move
+                    move = (task, cfg, cur_pins, cur_w, pins, w)
+                    if ma < mb:
+                        # improving for sure — but an earlier buffered
+                        # maybe-move may improve too and must win
+                        first = self._first_improving_of(pending)
+                        return first if first is not None else move
+                    pending.append((move, before, after))
+                    if len(pending) >= self._MOVE_CHUNK:
+                        first = self._first_improving_of(pending)
+                        if first is not None:
+                            return first
+                        pending = []
+        return self._first_improving_of(pending)
 
     def _bounded_local_search(self, region: set[int]) -> None:
         """Vector-improving single-task moves off the region's
@@ -351,33 +405,18 @@ class IncrementalSolver:
             peak = max(
                 (self._loads.get(u, 0.0) for u in region), default=0.0
             )
-            moved = False
             # only tasks on a region-bottleneck processor can host the
             # move that lowers it
-            for u in sorted(region):
-                if self._loads.get(u, -1.0) < peak - 1e-12:
-                    continue
-                for task in sorted(self._on_proc.get(u, set())):
-                    cur = self._assign[task]
-                    cur_pins, cur_w, _ = self.instance.config_any(task, cur)
-                    for cfg, pins, w in self.instance.task_configs(task):
-                        if cfg == cur:
-                            continue
-                        if self._move_gain(cur_pins, cur_w, pins, w) < 0:
-                            self._unload(task, cur_pins, cur_w)
-                            self._assign[task] = cfg
-                            self._load(task, pins, w)
-                            region.update(pins)
-                            self.stats.ls_moves += 1
-                            budget -= 1
-                            moved = True
-                            break
-                    if moved:
-                        break
-                if moved:
-                    break
-            if not moved:
+            mv = self._first_improving_move(region, peak)
+            if mv is None:
                 break
+            task, cfg, cur_pins, cur_w, pins, w = mv
+            self._unload(task, cur_pins, cur_w)
+            self._assign[task] = cfg
+            self._load(task, pins, w)
+            region.update(pins)
+            self.stats.ls_moves += 1
+            budget -= 1
 
     # ------------------------------------------------------------------
     # full solves

@@ -135,6 +135,7 @@ class BatchSolver:
         portfolio: Sequence[str] | None = None,
         seed: int = 0,
         time_budget: float | None = None,
+        backend: str = "numpy",
     ):
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -167,6 +168,7 @@ class BatchSolver:
                 ),
                 seed=seed,
                 time_budget=time_budget,
+                backend=backend,
             )
         )
         self._pool = None  # lazily created, reused across solve_many calls
@@ -192,6 +194,7 @@ class BatchSolver:
         portfolio,
         seed,
         time_budget,
+        backend,
         options: SolveOptions | None,
     ) -> SolveOptions:
         if options is not None:
@@ -211,6 +214,7 @@ class BatchSolver:
             time_budget=(
                 time_budget if time_budget is not None else d.time_budget
             ),
+            backend=backend if backend is not None else d.backend,
         )
 
     # ------------------------------------------------------------------
@@ -227,6 +231,7 @@ class BatchSolver:
         portfolio: Sequence[str] | None = None,
         seed: int | None = None,
         time_budget: float | None = None,
+        backend: str | None = None,
         options: SolveOptions | None = None,
     ) -> list[SolveResult]:
         """Solve every instance; results come back in input order.
@@ -236,7 +241,7 @@ class BatchSolver:
         :class:`Schedule` view in ``result.schedule``.
         """
         opts = self._options(
-            method, refine, portfolio, seed, time_budget, options
+            method, refine, portfolio, seed, time_budget, backend, options
         ).normalized()
         token = opts.cache_token()
         pairs = [self._coerce(x) for x in instances]
@@ -397,6 +402,7 @@ def solve_many(
     portfolio: Sequence[str] | None = None,
     seed: int = 0,
     time_budget: float | None = None,
+    backend: str = "numpy",
     options: SolveOptions | None = None,
     max_workers: int | None = None,
     executor: str = "process",
@@ -425,6 +431,7 @@ def solve_many(
         portfolio=portfolio,
         seed=seed,
         time_budget=time_budget,
+        backend=backend,
     ) as engine:
         # the pool is private to this call, so shut it down eagerly
         # rather than leaving it to the interpreter-exit hooks

@@ -42,14 +42,28 @@ def instance_digest(hg: TaskHypergraph) -> str:
     ``task_ptr``/``proc_ptr`` and friends are derived from the hyperedge
     arrays, so hashing ``hedge_task``, ``hedge_ptr``, ``hedge_procs`` and
     ``hedge_w`` (plus the vertex counts) identifies the instance.
+
+    The digest is memoized on the (immutable) instance: both the result
+    cache and the kernel compile cache key on it, so one solve would
+    otherwise hash the same arrays several times.
     """
+    cached = getattr(hg, "_digest_cache", None)
+    if cached is not None:
+        return cached
     h = hashlib.sha256()
     h.update(f"{hg.n_tasks}|{hg.n_procs}|{hg.n_hedges}|".encode())
     for arr in (hg.hedge_task, hg.hedge_ptr, hg.hedge_procs):
         h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
         h.update(b"#")
     h.update(np.ascontiguousarray(hg.hedge_w, dtype=np.float64).tobytes())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    # freeze the hashed arrays so the memoized digest cannot go stale
+    # through in-place mutation (which would also desynchronize the
+    # result cache and the kernel compile cache)
+    for arr in (hg.hedge_task, hg.hedge_ptr, hg.hedge_procs, hg.hedge_w):
+        arr.setflags(write=False)
+    object.__setattr__(hg, "_digest_cache", digest)
+    return digest
 
 
 def solve_key(

@@ -70,7 +70,10 @@ def _context(options: SolveOptions) -> EvalContext:
         else None
     )
     return EvalContext(
-        registry=get_registry(), seed=options.seed, deadline=deadline
+        registry=get_registry(),
+        seed=options.seed,
+        deadline=deadline,
+        backend=options.backend,
     )
 
 
@@ -93,6 +96,7 @@ def solve_hypergraph(
     refine: bool = False,
     portfolio: Sequence[str] | None = None,
     seed: int = 0,
+    backend: str = "numpy",
 ) -> HyperSemiMatching:
     """Solve one hypergraph instance and return the bare matching.
 
@@ -100,12 +104,15 @@ def solve_hypergraph(
     :func:`repro.algorithms.local_search` (never worsens the makespan).
     ``seed`` only affects the randomised methods (``"grasp"`` and any
     portfolio entry using it); every other method is deterministic.
+    ``backend`` selects the kernel execution path for backend-aware
+    solvers ("numpy" kernels vs the "python" oracle — bit-identical).
     """
     options = SolveOptions(
         method=method,
         refine=refine,
         portfolio=tuple(portfolio) if portfolio is not None else None,
         seed=seed,
+        backend=backend,
     )
     return solve_hypergraph_outcome(hg, options).matching
 
@@ -116,6 +123,7 @@ def solve_portfolio(
     algorithms: Sequence[str] | None = None,
     refine: bool = False,
     seed: int = 0,
+    backend: str = "numpy",
 ) -> HyperSemiMatching:
     """Race ``algorithms`` on one instance and keep the best makespan.
 
@@ -129,5 +137,7 @@ def solve_portfolio(
         if algorithms is not None
         else get_registry().default_portfolio()
     )
-    options = SolveOptions(portfolio=lineup, refine=refine, seed=seed)
+    options = SolveOptions(
+        portfolio=lineup, refine=refine, seed=seed, backend=backend
+    )
     return solve_hypergraph_outcome(hg, options).matching

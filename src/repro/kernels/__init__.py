@@ -1,0 +1,70 @@
+"""repro.kernels — vectorized CSR kernel core for the hot paths.
+
+The paper's heuristics were first implemented as per-candidate Python
+loops over :class:`~repro.core.hypergraph.TaskHypergraph` views.  This
+package compiles an instance once into :class:`CompiledKernels` — a
+set of flat NumPy arrays grouped by task (candidate weights, pin lists,
+and each pin's precomputed position inside its task's sorted
+pin-union) — and provides array kernels for everything the greedy
+heuristics, the local search and the incremental repair loop do per
+candidate:
+
+* batched load-vector accumulation (:func:`loads_from_assignment`);
+* per-task candidate bottlenecks via ``np.maximum.reduceat``;
+* descending-lexicographic candidate ranking (:func:`lex_best_row`),
+  sound by the affected-multiset lemma of :mod:`repro.core.loadvec`;
+* batched local-search move evaluation (:func:`batch_lex_signs`).
+
+Every kernel performs *the same floating-point operations in the same
+order* as the Python loops it replaces, so ``backend="numpy"`` returns
+bit-identical matchings to ``backend="python"`` — asserted for every
+registered solver by ``tests/test_conformance.py``.
+
+Compilations are cached by the engine's content digest
+(:func:`repro.engine.cache.instance_digest`), so one instance is
+compiled once no matter how many solvers race over it.
+"""
+
+from __future__ import annotations
+
+from .compiled import (
+    CompiledKernels,
+    compile_cache_stats,
+    compile_instance,
+    clear_compile_cache,
+    flat_ranges,
+)
+from .ops import (
+    batch_lex_signs,
+    first_lex_improving,
+    lex_best_row,
+    lex_move_sign,
+    loads_from_assignment,
+)
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "CompiledKernels",
+    "compile_instance",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "flat_ranges",
+    "loads_from_assignment",
+    "lex_best_row",
+    "batch_lex_signs",
+    "first_lex_improving",
+    "lex_move_sign",
+    "check_backend",
+]
+
+#: The execution backends every kernel-aware solver accepts.
+KNOWN_BACKENDS = ("numpy", "python")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name, returning it unchanged."""
+    if backend not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {KNOWN_BACKENDS}, got {backend!r}"
+        )
+    return backend

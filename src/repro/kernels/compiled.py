@@ -1,0 +1,257 @@
+"""Immutable task-grouped CSR compilation of a :class:`TaskHypergraph`.
+
+:class:`TaskHypergraph` already stores hyperedges in CSR form, but the
+hot loops need a *task-grouped* arrangement: task ``v``'s candidate
+configurations laid out contiguously, each pin annotated with its
+position inside the task's sorted pin-union.  With those arrays one
+greedy step is a handful of vectorized calls (a gather, a
+``reduceat``, an ``argmin``/``lexsort``, a scatter) instead of a Python
+loop over candidates.
+
+Grouped position ``k`` (``0 <= k < n_hedges``) is the ``k``-th entry of
+``task_hedges`` — i.e. candidates of task ``v`` occupy grouped
+positions ``task_ptr[v]:task_ptr[v+1]``, in the same order
+:meth:`TaskHypergraph.task_hedge_ids` yields them, which is what makes
+kernel tie-breaking match the Python loops exactly.
+
+Compilation is pure array work (no per-pin Python loop) and cached by
+the engine's content digest, so structurally equal instances share one
+compilation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+
+__all__ = [
+    "CompiledKernels",
+    "compile_instance",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "flat_ranges",
+]
+
+
+def flat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s+l) for s, l in zip(starts, lengths)])``
+    without a Python loop."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    return np.repeat(starts - offsets, lengths) + np.arange(
+        total, dtype=np.int64
+    )
+
+
+@dataclass(frozen=True)
+class CompiledKernels:
+    """Task-grouped kernel arrays for one :class:`TaskHypergraph`.
+
+    Attributes
+    ----------
+    hypergraph:
+        The source instance (its CSR arrays are shared, not copied).
+    digest:
+        The engine's content digest — the compile-cache key.
+    g_hedge:
+        Hyperedge id at each grouped position (``== task_hedges``).
+    g_w, g_size, g_ptr, g_pins:
+        Weight, pin count, pin CSR pointer and concatenated pin lists in
+        grouped order: the pins of grouped candidate ``k`` are
+        ``g_pins[g_ptr[k]:g_ptr[k+1]]``.
+    g_pin_w:
+        ``g_w`` repeated per pin (scatter payload for ranking kernels).
+    g_pin_row:
+        For each pin, its candidate's index *within its task* (the row
+        of the ranking matrix the pin scatters into).
+    g_pin_pos:
+        For each pin, its position inside the owning task's sorted
+        pin-union (the column of the ranking matrix).
+    u_ptr, u_procs:
+        CSR of per-task sorted pin-unions: the processors task ``v``
+        can touch are ``u_procs[u_ptr[v]:u_ptr[v+1]]`` (sorted,
+        duplicate-free).
+    hedge_gpos:
+        Inverse of ``g_hedge``: the grouped position of each hyperedge.
+    """
+
+    hypergraph: TaskHypergraph
+    digest: str
+    g_hedge: np.ndarray
+    g_w: np.ndarray
+    g_size: np.ndarray
+    g_ptr: np.ndarray
+    g_pins: np.ndarray
+    g_pin_w: np.ndarray
+    g_pin_row: np.ndarray
+    g_pin_pos: np.ndarray
+    u_ptr: np.ndarray
+    u_procs: np.ndarray
+    hedge_gpos: np.ndarray
+
+    # -- delegated shape properties -------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return self.hypergraph.n_tasks
+
+    @property
+    def n_procs(self) -> int:
+        return self.hypergraph.n_procs
+
+    @property
+    def n_hedges(self) -> int:
+        return self.hypergraph.n_hedges
+
+    def task_slice(self, v: int) -> tuple[int, int]:
+        """Grouped-position range of task ``v``'s candidates."""
+        ptr = self.hypergraph.task_ptr
+        return int(ptr[v]), int(ptr[v + 1])
+
+    def decompile(self) -> TaskHypergraph:
+        """Rebuild an equal :class:`TaskHypergraph` from the grouped
+        arrays alone (round-trip property: ``decompile()`` equals the
+        source instance array-for-array)."""
+        hg = self.hypergraph
+        task_of_g = np.repeat(
+            np.arange(hg.n_tasks, dtype=np.int64), np.diff(hg.task_ptr)
+        )
+        order = np.argsort(self.g_hedge, kind="stable")
+        return TaskHypergraph.from_hyperedges(
+            hg.n_tasks,
+            hg.n_procs,
+            task_of_g[order],
+            [
+                self.g_pins[self.g_ptr[k] : self.g_ptr[k + 1]]
+                for k in order
+            ],
+            self.g_w[order],
+        )
+
+
+def _compile(hg: TaskHypergraph, digest: str) -> CompiledKernels:
+    nh = hg.n_hedges
+    sizes = np.diff(hg.hedge_ptr)
+    g_hedge = np.ascontiguousarray(hg.task_hedges, dtype=np.int64)
+    g_w = np.ascontiguousarray(hg.hedge_w[g_hedge])
+    g_size = np.ascontiguousarray(sizes[g_hedge])
+    g_ptr = np.zeros(nh + 1, dtype=np.int64)
+    np.cumsum(g_size, out=g_ptr[1:])
+    pin_idx = flat_ranges(hg.hedge_ptr[:-1][g_hedge], g_size)
+    g_pins = np.ascontiguousarray(hg.hedge_procs[pin_idx])
+    g_pin_w = np.repeat(g_w, g_size)
+
+    deg = np.diff(hg.task_ptr)
+    task_of_g = np.repeat(np.arange(hg.n_tasks, dtype=np.int64), deg)
+    # candidate index within its task, per grouped position then per pin
+    local = np.arange(nh, dtype=np.int64) - np.repeat(
+        hg.task_ptr[:-1], deg
+    )
+    g_pin_row = np.repeat(local, g_size)
+
+    # per-task sorted pin-union + each pin's position inside it
+    task_of_pin = np.repeat(task_of_g, g_size)
+    total_pins = g_pins.shape[0]
+    if total_pins:
+        order = np.lexsort((g_pins, task_of_pin))
+        sp = g_pins[order]
+        stt = task_of_pin[order]
+        new = np.ones(total_pins, dtype=bool)
+        new[1:] = (sp[1:] != sp[:-1]) | (stt[1:] != stt[:-1])
+        u_procs = np.ascontiguousarray(sp[new])
+        counts = np.bincount(stt[new], minlength=hg.n_tasks)
+        u_ptr = np.zeros(hg.n_tasks + 1, dtype=np.int64)
+        np.cumsum(counts, out=u_ptr[1:])
+        rank = np.cumsum(new) - 1  # union index of each sorted pin
+        pos = np.empty(total_pins, dtype=np.int64)
+        pos[order] = rank
+        g_pin_pos = pos - u_ptr[task_of_pin]
+    else:
+        u_procs = np.empty(0, dtype=np.int64)
+        u_ptr = np.zeros(hg.n_tasks + 1, dtype=np.int64)
+        g_pin_pos = np.empty(0, dtype=np.int64)
+
+    hedge_gpos = np.empty(nh, dtype=np.int64)
+    hedge_gpos[g_hedge] = np.arange(nh, dtype=np.int64)
+
+    return CompiledKernels(
+        hypergraph=hg,
+        digest=digest,
+        g_hedge=g_hedge,
+        g_w=g_w,
+        g_size=g_size,
+        g_ptr=g_ptr,
+        g_pins=g_pins,
+        g_pin_w=g_pin_w,
+        g_pin_row=g_pin_row,
+        g_pin_pos=g_pin_pos,
+        u_ptr=u_ptr,
+        u_procs=u_procs,
+        hedge_gpos=hedge_gpos,
+    )
+
+
+#: Digest-keyed LRU of compilations (one instance is compiled once no
+#: matter how many solvers, portfolio entries or sweeps touch it).
+_CACHE: OrderedDict[str, CompiledKernels] = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_CACHE_MAXSIZE = 128
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def compile_instance(
+    hg: TaskHypergraph, *, digest: str | None = None
+) -> CompiledKernels:
+    """Compile ``hg`` (cached by the engine's content digest).
+
+    Pass ``digest=`` when the caller already computed it (the engine's
+    result-cache path does); otherwise it is computed here.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    if digest is None:
+        # runtime import: kernels must stay importable before the
+        # engine package (algorithms import kernels at module load)
+        from ..engine.cache import instance_digest
+
+        digest = instance_digest(hg)
+    with _CACHE_LOCK:
+        hit = _CACHE.get(digest)
+        if hit is not None:
+            _CACHE.move_to_end(digest)
+            _CACHE_HITS += 1
+            return hit
+        _CACHE_MISSES += 1
+    compiled = _compile(hg, digest)
+    with _CACHE_LOCK:
+        _CACHE[digest] = compiled
+        _CACHE.move_to_end(digest)
+        while len(_CACHE) > _CACHE_MAXSIZE:
+            _CACHE.popitem(last=False)
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation (test support)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0
+
+
+def compile_cache_stats() -> dict[str, int]:
+    """``{"entries", "hits", "misses"}`` snapshot."""
+    with _CACHE_LOCK:
+        return {
+            "entries": len(_CACHE),
+            "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES,
+        }

@@ -1,0 +1,131 @@
+"""Vectorized kernels over :class:`~repro.kernels.CompiledKernels` arrays.
+
+Each kernel batches the exact floating-point operations of the Python
+loop it replaces (same values, same accumulation order), so results are
+bit-identical — the conformance harness holds every solver to that.
+
+Ranking kernels compare candidates over the *task's full pin-union*
+instead of pairwise unions; by the multiset lemma of
+:mod:`repro.core.loadvec` (untouched loads cancel) the descending-lex
+order is unchanged.  The lemma holds for any totally ordered values, so
+it applies verbatim to the IEEE doubles being compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .compiled import flat_ranges
+
+__all__ = [
+    "loads_from_assignment",
+    "lex_best_row",
+    "batch_lex_signs",
+    "first_lex_improving",
+    "lex_move_sign",
+]
+
+
+def loads_from_assignment(hg, hedge_of_task: np.ndarray) -> np.ndarray:
+    """Per-processor loads of an assignment, accumulated in task order.
+
+    The batched form of ``for h in hedge_of_task: loads[pins(h)] += w[h]``
+    (``np.add.at`` applies elementwise in index order, so the float
+    accumulation order — and therefore every bit of the result — matches
+    the loop).
+    """
+    loads = np.zeros(hg.n_procs, dtype=np.float64)
+    hedges = np.ascontiguousarray(hedge_of_task, dtype=np.int64)
+    if hedges.size == 0:
+        return loads
+    sizes = np.diff(hg.hedge_ptr)[hedges]
+    idx = flat_ranges(hg.hedge_ptr[:-1][hedges], sizes)
+    np.add.at(
+        loads, hg.hedge_procs[idx], np.repeat(hg.hedge_w[hedges], sizes)
+    )
+    return loads
+
+
+#: Sign bit of the IEEE-754 binary64 layout.
+_SIGN = np.uint64(0x8000000000000000)
+
+
+def _inv_sort_keys(rows: np.ndarray) -> np.ndarray:
+    """Each row of (m, k) ``rows`` → one byte string whose ``memcmp``
+    order is the *reverse* of the row's descending-lex multiset order
+    (memcmp-larger == lex-smaller).
+
+    Each double maps through the inverted IEEE total-order trick
+    (``~(bits | sign)`` for non-negatives, raw bits for negatives) — a
+    strictly *decreasing* uint64 key for NaN-free floats (the kernels
+    never produce NaN, and ``-0.0`` cannot arise from sums and
+    differences of finite operands).  Sorting the inverted keys
+    ascending therefore sorts the values descending in place, and the
+    concatenated big-endian key bytes compare rows in one ``memcmp``
+    instead of a per-column loop.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    m, k = rows.shape
+    if k == 0:
+        return np.zeros(m, dtype="S1")
+    u = np.ascontiguousarray(rows).view(np.uint64)
+    inv = np.where(rows < 0, u, ~(u | _SIGN))
+    inv.sort(axis=1)
+    return inv.astype(">u8").view(f"S{8 * k}").ravel()
+
+
+def lex_best_row(rows: np.ndarray) -> int:
+    """Index of the descending-lex smallest row of ``rows`` (m, k).
+
+    Rows are value multisets (unsorted); ties keep the smallest index,
+    matching the strict-``<`` incumbent rule of the Python loops.
+    """
+    keys = _inv_sort_keys(rows)
+    best = 0
+    bk = keys[0]
+    for i in range(1, keys.shape[0]):
+        if keys[i] > bk:  # inverted keys: memcmp-larger == lex-smaller
+            best, bk = i, keys[i]
+    return best
+
+
+def batch_lex_signs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Rowwise descending-lex multiset comparison of ``a`` vs ``b``.
+
+    Both are (m, k) matrices; rows may be padded with ``-inf`` (padding
+    must match between ``a`` and ``b``, which maps to identical key
+    bytes on both sides and cancels).  Returns an int array of
+    -1/0/+1 per row — the batched
+    :func:`repro.core.loadvec.lex_compare_multisets`.
+    """
+    ka = _inv_sort_keys(a)
+    kb = _inv_sort_keys(b)
+    # inverted keys: a memcmp-larger key means a lex-smaller multiset
+    return (ka < kb).astype(np.int8) - (ka > kb).astype(np.int8)
+
+
+def first_lex_improving(
+    after: np.ndarray, before: np.ndarray
+) -> int | None:
+    """Index of the first row where ``after`` lex-improves on
+    ``before`` (sign < 0), or ``None``.
+
+    The shared acceptance rule of every first-improving-move scan
+    (static local search and incremental repair): rows are candidate
+    moves in scan order, padded identically with ``-inf``, and the
+    earliest improving one wins.
+    """
+    improving = np.flatnonzero(batch_lex_signs(after, before) < 0)
+    return int(improving[0]) if improving.size else None
+
+
+def lex_move_sign(after: np.ndarray, before: np.ndarray) -> int:
+    """Single-move evaluation: -1 when ``after`` improves on ``before``
+    in descending-lex multiset order (the move-evaluation kernel; the
+    incremental repair loop calls this per candidate move)."""
+    return int(
+        batch_lex_signs(
+            np.asarray(after, dtype=np.float64)[None, :],
+            np.asarray(before, dtype=np.float64)[None, :],
+        )[0]
+    )

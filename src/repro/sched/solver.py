@@ -33,6 +33,7 @@ def solve(
     refine: bool = False,
     seed: int = 0,
     time_budget: float | None = None,
+    backend: str = "numpy",
     options=None,
 ):
     """Solve a :class:`SchedulingProblem`; returns a
@@ -40,6 +41,8 @@ def solve(
 
     ``refine=True`` post-processes heuristic solutions with
     :func:`repro.algorithms.local_search` (never worsens the makespan).
+    ``backend`` selects the kernel execution path for backend-aware
+    solvers ("numpy" kernels vs the bit-identical "python" oracle).
     Pass a prepared :class:`~repro.api.SolveOptions` via ``options=`` to
     override all other keywords.
     """
@@ -53,4 +56,5 @@ def solve(
         refine=refine,
         seed=seed,
         time_budget=time_budget,
+        backend=backend,
     )

@@ -19,7 +19,19 @@ __all__ = [
     "random_hypergraph",
     "bipartite_graphs",
     "task_hypergraphs",
+    "generated_instances",
+    "apply_random_mutations",
+    "hyp_solver",
 ]
+
+
+def hyp_solver(name: str):
+    """The registry's MULTIPROC solver callable for ``name`` (the
+    migrated spelling of the deprecated ``HYPERGRAPH_ALGORITHMS[name]``,
+    shared by the property, conformance and benchmark suites)."""
+    from repro.api import get_registry
+
+    return get_registry().resolve(name, domain="hypergraph").fn
 
 
 # ---------------------------------------------------------------------------
@@ -96,6 +108,63 @@ def bipartite_graphs(draw, max_tasks: int = 10, max_procs: int = 7,
     return BipartiteGraph.from_neighbor_lists(
         nbrs, n_procs=p, weights=weights
     )
+
+
+@st.composite
+def generated_instances(draw, max_tasks: int = 40):
+    """Hypothesis strategy over the *generator* parameter space: a
+    MULTIPROC instance from :func:`repro.generators.generate_multiproc`
+    (family, group count, degrees, weight scheme and seed all drawn).
+
+    Consolidates the parameter tuples previously inlined in the
+    property/dynamic/API test modules.
+    """
+    from repro.generators import generate_multiproc
+
+    n = draw(st.integers(6, max_tasks))
+    p = draw(st.sampled_from([4, 8, 16]))
+    g = draw(st.sampled_from([2, 4]))
+    dv = draw(st.integers(1, 3))
+    dh = draw(st.integers(1, 4))
+    scheme = draw(st.sampled_from(["unit", "related", "random"]))
+    seed = draw(st.integers(0, 10_000))
+    return generate_multiproc(
+        n, p, g=g, dv=dv, dh=dh, weights=scheme, seed=seed
+    )
+
+
+def apply_random_mutations(inst, rng: np.random.Generator,
+                           n_events: int) -> None:
+    """A feasibility-preserving random mutation stream over a
+    :class:`repro.dynamic.DynamicInstance` (all five ops).  Shared by
+    the dynamic and conformance suites."""
+    from repro.core.errors import InfeasibleError
+
+    for _ in range(n_events):
+        op = int(rng.integers(0, 5))
+        tasks = inst.tasks()
+        if op == 0 and tasks:
+            inst.remove_task(int(rng.choice(tasks)))
+        elif op == 1 and inst.n_procs:
+            procs = inst.procs()
+            confs = []
+            for _ in range(int(rng.integers(1, 4))):
+                size = int(rng.integers(1, min(3, len(procs)) + 1))
+                pins = rng.choice(procs, size=size, replace=False)
+                confs.append((pins.tolist(), float(rng.integers(1, 9))))
+            inst.add_task(confs)
+        elif op == 2 and tasks:
+            task = int(rng.choice(tasks))
+            configs = inst.task_configs(task)
+            idx, _pins, w = configs[int(rng.integers(0, len(configs)))]
+            inst.update_weight(task, idx, w * float(rng.uniform(0.5, 2.0)))
+        elif op == 3 and inst.n_procs > 1:
+            try:
+                inst.remove_processor(int(rng.choice(inst.procs())))
+            except InfeasibleError:
+                inst.add_processor()
+        else:
+            inst.add_processor()
 
 
 @st.composite

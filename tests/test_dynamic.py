@@ -40,44 +40,13 @@ from repro.engine.cache import ResultCache, instance_digest
 from repro.engine.dispatch import solve_hypergraph
 from repro.generators import churn_trace, generate_multiproc
 
-from strategies import random_hypergraph
+from strategies import apply_random_mutations, random_hypergraph
 
 
 def small_hg(seed: int = 0) -> TaskHypergraph:
     return generate_multiproc(
         24, 6, g=2, dv=3, dh=3, weights="related", seed=seed
     )
-
-
-def apply_random_mutations(
-    inst: DynamicInstance, rng: np.random.Generator, n_events: int
-) -> None:
-    """A feasibility-preserving random mutation stream (all five ops)."""
-    for _ in range(n_events):
-        op = int(rng.integers(0, 5))
-        tasks = inst.tasks()
-        if op == 0 and tasks:
-            inst.remove_task(int(rng.choice(tasks)))
-        elif op == 1 and inst.n_procs:
-            procs = inst.procs()
-            confs = []
-            for _ in range(int(rng.integers(1, 4))):
-                size = int(rng.integers(1, min(3, len(procs)) + 1))
-                pins = rng.choice(procs, size=size, replace=False)
-                confs.append((pins.tolist(), float(rng.integers(1, 9))))
-            inst.add_task(confs)
-        elif op == 2 and tasks:
-            task = int(rng.choice(tasks))
-            configs = inst.task_configs(task)
-            idx, _pins, w = configs[int(rng.integers(0, len(configs)))]
-            inst.update_weight(task, idx, w * float(rng.uniform(0.5, 2.0)))
-        elif op == 3 and inst.n_procs > 1:
-            try:
-                inst.remove_processor(int(rng.choice(inst.procs())))
-            except InfeasibleError:
-                inst.add_processor()
-        else:
-            inst.add_processor()
 
 
 def assert_consistent(inst: DynamicInstance, solver: IncrementalSolver):

@@ -29,6 +29,10 @@ def test_quickstart():
     assert "makespan" in out
     assert "render" in out
     assert "lower bound" in out.lower()
+    # the backend demo: kernel speedup on a bit-identical matching
+    assert "numpy kernels" in out
+    assert "x speedup" in out
+    assert "bit-identical matching" in out
 
 
 def test_worst_cases():

@@ -1,0 +1,213 @@
+"""The vectorized kernel core (repro.kernels).
+
+Properties that make the kernels trustworthy as a foundation:
+
+* compile → decompile round-trips every instance array-for-array;
+* the grouped arrays are consistent with the hypergraph's CSR views;
+* the lex kernels agree sign-for-sign with the reference comparison in
+  :mod:`repro.core.loadvec` (including negative values, ties, and
+  ``-inf`` padding);
+* the batched load accumulation equals the validation oracle bit-wise;
+* the compile cache is digest-keyed (hit on structural equality).
+
+The solver-level guarantee — ``backend="numpy"`` bit-equal to
+``backend="python"`` for every registered solver — lives in
+``test_conformance.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loadvec import lex_compare_multisets
+from repro.core.validation import compute_loads_hypergraph
+from repro.kernels import (
+    CompiledKernels,
+    batch_lex_signs,
+    check_backend,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_instance,
+    lex_best_row,
+    lex_move_sign,
+    loads_from_assignment,
+)
+from repro.engine.cache import instance_digest
+from repro.generators import generate_multiproc
+
+from strategies import random_hypergraph, task_hypergraphs
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+class TestCompiledKernels:
+    @given(task_hypergraphs(weighted=True))
+    @settings(max_examples=50, deadline=None)
+    def test_compile_decompile_round_trip(self, hg):
+        """compile → decompile reproduces every defining array."""
+        back = compile_instance(hg).decompile()
+        for field in (
+            "hedge_task",
+            "hedge_ptr",
+            "hedge_procs",
+            "task_ptr",
+            "task_hedges",
+            "proc_ptr",
+            "proc_hedges",
+        ):
+            assert np.array_equal(
+                getattr(hg, field), getattr(back, field)
+            ), field
+        assert np.array_equal(hg.hedge_w, back.hedge_w)
+        assert instance_digest(hg) == instance_digest(back)
+
+    @given(task_hypergraphs(weighted=True))
+    @settings(max_examples=30, deadline=None)
+    def test_grouped_arrays_match_csr_views(self, hg):
+        ci = compile_instance(hg)
+        for v in range(hg.n_tasks):
+            a, b = ci.task_slice(v)
+            assert np.array_equal(ci.g_hedge[a:b], hg.task_hedge_ids(v))
+            union = set()
+            for k in range(a, b):
+                h = int(ci.g_hedge[k])
+                pins = ci.g_pins[ci.g_ptr[k] : ci.g_ptr[k + 1]]
+                assert np.array_equal(pins, hg.hedge_proc_set(h))
+                assert ci.g_w[k] == hg.hedge_w[h]
+                assert ci.hedge_gpos[h] == k
+                union.update(int(u) for u in pins)
+            aff = ci.u_procs[ci.u_ptr[v] : ci.u_ptr[v + 1]]
+            assert sorted(union) == list(aff)
+            # each pin's precomputed position lands on its processor
+            p0, p1 = ci.g_ptr[a], ci.g_ptr[b]
+            assert np.array_equal(
+                aff[ci.g_pin_pos[p0:p1]], ci.g_pins[p0:p1]
+            )
+
+    def test_empty_instance(self):
+        from repro.core import TaskHypergraph
+
+        hg = TaskHypergraph.from_configurations([], n_procs=3)
+        ci = compile_instance(hg)
+        assert ci.n_tasks == 0 and ci.n_hedges == 0
+        assert ci.decompile().n_procs == 3
+
+    def test_cache_hits_on_structural_equality(self):
+        clear_compile_cache()
+        hg = generate_multiproc(
+            12, 4, g=2, dv=2, dh=2, weights="related", seed=3
+        )
+        twin = hg.with_weights(hg.hedge_w.copy())
+        c1 = compile_instance(hg)
+        c2 = compile_instance(twin)
+        assert c1 is c2  # same digest -> same compilation
+        stats = compile_cache_stats()
+        assert stats["hits"] >= 1 and stats["entries"] >= 1
+
+    def test_digest_can_be_supplied(self):
+        hg = generate_multiproc(
+            10, 4, g=2, dv=2, dh=2, weights="unit", seed=0
+        )
+        d = instance_digest(hg)
+        assert compile_instance(hg, digest=d).digest == d
+
+
+# ---------------------------------------------------------------------------
+# lex kernels vs the loadvec oracle
+# ---------------------------------------------------------------------------
+_VALUES = st.sampled_from(
+    [0.0, 1.0, 1.5, 2.0, 3.0, 0.1 + 0.2, -1e-16, 7.25]
+)
+
+
+class TestLexKernels:
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 8),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lex_best_row_matches_pairwise_oracle(self, m, k, data):
+        rows = np.array(
+            [
+                [data.draw(_VALUES) for _ in range(k)]
+                for _ in range(m)
+            ]
+        )
+        best = 0
+        for i in range(1, m):
+            if lex_compare_multisets(rows[i], rows[best]) < 0:
+                best = i
+        assert lex_best_row(rows) == best
+
+    @given(st.integers(1, 6), st.integers(1, 8), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_batch_signs_match_oracle(self, m, k, data):
+        pad = st.sampled_from([0.0, 1.0, 2.0, -2e-17, -np.inf, 5.5])
+        a = np.array(
+            [[data.draw(pad) for _ in range(k)] for _ in range(m)]
+        )
+        b = np.array(
+            [[data.draw(pad) for _ in range(k)] for _ in range(m)]
+        )
+        want = [lex_compare_multisets(a[i], b[i]) for i in range(m)]
+        assert list(batch_lex_signs(a, b)) == want
+
+    def test_move_sign_single(self):
+        assert lex_move_sign([1.0, 2.0], [2.0, 2.0]) == -1
+        assert lex_move_sign([3.0, 1.0], [2.0, 2.0]) == 1
+        assert lex_move_sign([2.0, 1.0], [1.0, 2.0]) == 0  # same multiset
+
+    def test_negative_values_ordered_correctly(self):
+        # the inverted total-order keys must rank negatives properly
+        assert lex_move_sign([-2.0], [-1.0]) == -1
+        assert lex_move_sign([-1.0], [-2.0]) == 1
+        assert batch_lex_signs(
+            np.array([[-3.0, 0.5]]), np.array([[0.5, -1.0]])
+        )[0] == -1
+
+
+# ---------------------------------------------------------------------------
+# batched load accumulation
+# ---------------------------------------------------------------------------
+class TestLoadsKernel:
+    @given(task_hypergraphs(weighted=True))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_validation_oracle_bitwise(self, hg):
+        rng = np.random.default_rng(0)
+        assign = np.array(
+            [
+                int(rng.choice(hg.task_hedge_ids(v)))
+                for v in range(hg.n_tasks)
+            ],
+            dtype=np.int64,
+        )
+        kern = loads_from_assignment(hg, assign)
+        oracle = compute_loads_hypergraph(hg, assign)
+        assert np.array_equal(kern, oracle)
+
+    def test_empty_assignment(self):
+        hg = random_hypergraph(np.random.default_rng(1))
+        empty = loads_from_assignment(
+            hg, np.empty(0, dtype=np.int64)
+        )
+        # an empty slice of tasks loads nothing
+        assert empty.shape == (hg.n_procs,)
+        assert not empty.any()
+
+
+def test_check_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="backend"):
+        check_backend("fortran")
+    assert check_backend("numpy") == "numpy"
+    assert check_backend("python") == "python"
+
+
+def test_compiled_instance_is_frozen():
+    hg = random_hypergraph(np.random.default_rng(2))
+    ci = compile_instance(hg)
+    assert isinstance(ci, CompiledKernels)
+    with pytest.raises(Exception):
+        ci.digest = "nope"

@@ -20,23 +20,17 @@ from repro.algorithms import (
     local_search,
     sorted_greedy,
 )
-from repro.api import get_registry
 from repro.core import TaskHypergraph
 from repro.core.validation import (
     assert_valid_hyper_semi_matching,
     compute_loads_hypergraph,
 )
-from repro.generators import generate_multiproc
 
-from strategies import task_hypergraphs
+from strategies import generated_instances, hyp_solver, task_hypergraphs
 
 UNIQUE_HYP_ALGOS = ("SGH", "VGH", "EGH", "EVG")
 
-
-def _hyp_algo(name: str):
-    """The registry's solver callable (the migrated spelling of the
-    deprecated ``HYPERGRAPH_ALGORITHMS[name]``)."""
-    return get_registry().resolve(name, domain="hypergraph").fn
+_hyp_algo = hyp_solver
 
 
 @given(task_hypergraphs(weighted=True))
@@ -63,21 +57,10 @@ def test_local_search_sandwich(hg):
     assert combined_bound(hg) <= opt + 1e-9
 
 
-@given(
-    n=st.integers(6, 40),
-    p=st.sampled_from([4, 8, 16]),
-    g=st.sampled_from([2, 4]),
-    dv=st.integers(1, 3),
-    dh=st.integers(1, 4),
-    scheme=st.sampled_from(["unit", "related", "random"]),
-    seed=st.integers(0, 10_000),
-)
+@given(generated_instances())
 @settings(max_examples=30, deadline=None)
-def test_generated_instances_always_solvable(n, p, g, dv, dh, scheme, seed):
+def test_generated_instances_always_solvable(hg):
     """Any generator output feeds cleanly into any heuristic."""
-    hg = generate_multiproc(
-        n, p, g=g, dv=dv, dh=dh, weights=scheme, seed=seed
-    )
     hg.validate()
     lb = averaged_work_bound(hg)
     for name in UNIQUE_HYP_ALGOS:
