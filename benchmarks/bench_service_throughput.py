@@ -1,0 +1,336 @@
+"""Service throughput bench: ``BENCH_service.json`` + two hard guards.
+
+Four workloads against a real :class:`repro.service.SolveServer` on a
+loopback TCP port (a fresh server — and a fresh private result cache —
+per workload, so the numbers never bleed into each other):
+
+* ``serial_cold`` — one blocking request at a time over distinct
+  instances: the per-request baseline (closed-loop, so the adaptive
+  batcher flushes every request immediately);
+* ``batched_cold`` — the same number of distinct instances as one
+  pipelined burst: the micro-batcher coalesces them into a few
+  ``solve_many`` calls, amortising the per-request overhead;
+* ``batched_warm`` — the burst again on the same server: every answer
+  comes from the shared ResultCache without recompiling;
+* ``dedup_identical`` — an all-duplicates burst of one larger
+  instance, cold cache: single-flight collapses N requests into ONE
+  engine solve.
+
+Hard assertions (the PR's acceptance numbers, run by CI in ``--smoke``
+mode on every push):
+
+* micro-batching: ``batched_cold`` throughput >= ``MIN_BATCHING_GAIN``
+  (2x) the serial per-request throughput;
+* single-flight: the all-duplicates burst completes at least
+  ``MIN_DEDUP_GAIN`` (10x) faster than N serial engine solves of the
+  same instance would take (N x a measured single-solve time).
+
+Run:    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+Smoke:  ... bench_service_throughput.py --smoke --out BENCH_service.json
+Pytest: PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.engine import ResultCache
+from repro.engine.batch import BatchSolver
+from repro.generators import generate_multiproc
+from repro.service import ServiceClient, SolveServer
+
+MIN_BATCHING_GAIN = 2.0
+MIN_DEDUP_GAIN = 10.0
+
+#: tiny instances: the per-request overhead the batcher amortises
+#: dominates, which is exactly the regime micro-batching exists for
+SMALL_TASKS, SMALL_PROCS = 6, 4
+#: the dedup workload runs a genuinely expensive solve (multi-start
+#: GRASP) on a mid-size instance, so sharing ONE solve across the
+#: burst dwarfs the per-request parse cost it cannot share
+DEDUP_TASKS, DEDUP_PROCS = 320, 64
+DEDUP_METHOD = "grasp"
+
+
+class _ServerHarness:
+    """One live server on a background event loop (private cache)."""
+
+    def __init__(self, **config):
+        config.setdefault(
+            "engine",
+            BatchSolver(
+                max_workers=1, executor="serial", cache=ResultCache()
+            ),
+        )
+        # a throughput bench must not trip admission control: the
+        # pipelined bursts intentionally exceed the serving defaults
+        config.setdefault("max_pending", 4096)
+        config.setdefault("per_conn_inflight", 4096)
+        self.server = SolveServer(port=0, allow_shutdown=True, **config)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not started.wait(10):
+            raise RuntimeError("service failed to start")
+
+    def __enter__(self) -> "_ServerHarness":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        ).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+def _instances(n: int, *, n_tasks: int, n_procs: int, seed0: int = 0):
+    small = n_tasks <= 16
+    return [
+        generate_multiproc(
+            n_tasks, n_procs, family="fewgmanyg",
+            g=2 if small else 4,
+            dv=2 if small else 3,
+            dh=3 if small else 5,
+            weights="related", seed=seed0 + k,
+        )
+        for k in range(n)
+    ]
+
+
+def _histogram_ms(server: SolveServer) -> dict:
+    snap = server.metrics.snapshot()["request_latency_s"]
+    return {
+        "p50_ms": snap["p50"] * 1e3,
+        "p99_ms": snap["p99"] * 1e3,
+        "mean_ms": snap["mean"] * 1e3,
+    }
+
+
+def bench_serial_vs_batched(
+    n_requests: int, repeats: int = 3
+) -> tuple[dict, dict, dict]:
+    """One paired measurement on one server: closed-loop serial vs
+    pipelined bursts (cold cache for both — distinct instances per
+    repeat), plus a warm re-burst.  Best-of-``repeats`` each, so one
+    scheduler hiccup cannot poison a side."""
+    with _ServerHarness(max_batch=128) as h:
+        with ServiceClient(port=h.server.port) as client:
+            # warm both paths: executor threads, code paths, option memo
+            warmup = _instances(
+                8, n_tasks=SMALL_TASKS, n_procs=SMALL_PROCS, seed0=10**6
+            )
+            for hg in warmup:
+                client.solve(hg, method="SGH")
+            client.solve_pipelined(warmup, method="SGH")
+
+            serial_best = 0.0
+            for rep in range(repeats):
+                instances = _instances(
+                    n_requests, n_tasks=SMALL_TASKS,
+                    n_procs=SMALL_PROCS, seed0=1000 * (rep + 1),
+                )
+                t0 = time.perf_counter()
+                for hg in instances:
+                    client.solve(hg, method="SGH")
+                serial_best = max(
+                    serial_best,
+                    n_requests / (time.perf_counter() - t0),
+                )
+            serial_stats = _histogram_ms(h.server)
+
+            batched_best, last_cold = 0.0, None
+            for rep in range(repeats):
+                instances = _instances(
+                    n_requests, n_tasks=SMALL_TASKS,
+                    n_procs=SMALL_PROCS, seed0=100_000 * (rep + 1),
+                )
+                t0 = time.perf_counter()
+                last_cold = client.solve_pipelined(instances, method="SGH")
+                batched_best = max(
+                    batched_best,
+                    n_requests / (time.perf_counter() - t0),
+                )
+            counters = h.server.metrics.snapshot()["counters"]
+            batched_stats = _histogram_ms(h.server)
+
+            t0 = time.perf_counter()
+            warm_results = client.solve_pipelined(instances, method="SGH")
+            warm_wall = time.perf_counter() - t0
+        assert all(not r.cache_hit for r in last_cold)
+        assert all(r.cache_hit for r in warm_results)
+    batches = counters.get("batches", 0)
+    serial = {
+        "requests": n_requests,
+        "repeats": repeats,
+        "req_per_s": serial_best,
+        **serial_stats,
+    }
+    cold = {
+        "requests": n_requests,
+        "repeats": repeats,
+        "req_per_s": batched_best,
+        "batches_total": batches,
+        **batched_stats,
+    }
+    warm = {
+        "requests": n_requests,
+        "wall_s": warm_wall,
+        "req_per_s": n_requests / warm_wall,
+        "cache_hits": n_requests,
+    }
+    return serial, cold, warm
+
+
+def bench_dedup(n_requests: int) -> dict:
+    (hg,) = _instances(
+        1, n_tasks=DEDUP_TASKS, n_procs=DEDUP_PROCS, seed0=999
+    )
+    # the serial reference: what one engine solve of this instance
+    # costs, measured uncached (median of 3)
+    singles = []
+    for _ in range(3):
+        engine = BatchSolver(max_workers=1, executor="serial", cache=False)
+        t0 = time.perf_counter()
+        engine.solve(hg, method=DEDUP_METHOD)
+        singles.append(time.perf_counter() - t0)
+    t_single = statistics.median(singles)
+
+    with _ServerHarness() as h:
+        with ServiceClient(port=h.server.port) as client:
+            t0 = time.perf_counter()
+            results = client.solve_pipelined(
+                [hg] * n_requests, method=DEDUP_METHOD
+            )
+            wall = time.perf_counter() - t0
+        followers = h.server.flight.followers
+        engine_cache = h.server.engine.cache.stats()
+    assert len({r.makespan for r in results}) == 1
+    # the dedup guarantee: ONE engine solve answered all N requests —
+    # concurrent arrivals share the flight (followers), anything
+    # arriving after it completed is a result-cache hit; either way the
+    # cache records exactly one miss
+    assert engine_cache["misses"] == 1, engine_cache
+    assert followers >= 1, followers
+    return {
+        "requests": n_requests,
+        "wall_s": wall,
+        "req_per_s": n_requests / wall,
+        "t_single_ms": t_single * 1e3,
+        "dedup_followers": followers,
+        "speedup_vs_serial_solves": (n_requests * t_single) / wall,
+    }
+
+
+def run_bench(smoke: bool) -> dict:
+    n_small = 100 if smoke else 300
+    n_dedup = 32 if smoke else 128
+
+    # a perf ratio on shared CI hardware deserves a retry: each attempt
+    # is already best-of-3 per side, and every attempt is recorded
+    attempts = []
+    for _ in range(3):
+        serial, cold, warm = bench_serial_vs_batched(n_small)
+        attempts.append(cold["req_per_s"] / serial["req_per_s"])
+        if attempts[-1] >= MIN_BATCHING_GAIN:
+            break
+    batching_gain = max(attempts)
+
+    dedup = bench_dedup(n_dedup)
+    dedup_gain = dedup["speedup_vs_serial_solves"]
+    report = {
+        "bench": "service_throughput",
+        "smoke": smoke,
+        "config": {
+            "small_instance": [SMALL_TASKS, SMALL_PROCS],
+            "dedup_instance": [DEDUP_TASKS, DEDUP_PROCS],
+            "dedup_method": DEDUP_METHOD,
+        },
+        "workloads": {
+            "serial_cold": serial,
+            "batched_cold": cold,
+            "batched_warm": warm,
+            "dedup_identical": dedup,
+        },
+        "assertions": {
+            "batching_gain": batching_gain,
+            "batching_gain_attempts": attempts,
+            "min_batching_gain": MIN_BATCHING_GAIN,
+            "dedup_gain": dedup_gain,
+            "min_dedup_gain": MIN_DEDUP_GAIN,
+        },
+    }
+    return report
+
+
+def check(report: dict) -> None:
+    a = report["assertions"]
+    assert a["batching_gain"] >= a["min_batching_gain"], (
+        f"micro-batching gained only {a['batching_gain']:.2f}x over "
+        f"serial per-request throughput (floor "
+        f"{a['min_batching_gain']:g}x)"
+    )
+    assert a["dedup_gain"] >= a["min_dedup_gain"], (
+        f"single-flight dedup gained only {a['dedup_gain']:.2f}x on the "
+        f"all-duplicates workload (floor {a['min_dedup_gain']:g}x)"
+    )
+
+
+def test_service_throughput_smoke():
+    """Pytest entry point (what ``pytest benchmarks`` exercises)."""
+    check(run_bench(smoke=True))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="smaller request counts, same assertions (what CI runs)",
+    )
+    ap.add_argument(
+        "--out", default="BENCH_service.json", metavar="PATH",
+        help="where to write the JSON report",
+    )
+    args = ap.parse_args(argv)
+
+    report = run_bench(smoke=args.smoke)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    w = report["workloads"]
+    print(f"serial   : {w['serial_cold']['req_per_s']:8.0f} req/s")
+    print(
+        f"batched  : {w['batched_cold']['req_per_s']:8.0f} req/s "
+        f"({report['assertions']['batching_gain']:.1f}x)"
+    )
+    print(f"warm     : {w['batched_warm']['req_per_s']:8.0f} req/s")
+    print(
+        f"dedup    : {w['dedup_identical']['req_per_s']:8.0f} req/s "
+        f"({report['assertions']['dedup_gain']:.1f}x vs serial solves)"
+    )
+    print(f"wrote {args.out}")
+    check(report)
+    print(
+        f"OK: batching >= {MIN_BATCHING_GAIN:g}x, "
+        f"dedup >= {MIN_DEDUP_GAIN:g}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

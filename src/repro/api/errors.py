@@ -6,6 +6,11 @@ method name nobody registered).  :class:`UnknownSolverError` unifies the
 two: it derives from *both*, so every pre-existing ``except`` clause and
 ``pytest.raises`` pattern keeps working, and it carries a did-you-mean
 suggestion plus the full list of known methods.
+
+Like the :mod:`repro.core.errors` hierarchy, each class carries a
+stable machine-readable ``code`` attribute, so transports (the
+:mod:`repro.service` wire protocol) map exceptions to typed error codes
+without string matching.
 """
 
 from __future__ import annotations
@@ -27,6 +32,9 @@ class UnknownSolverError(KeyError, ValueError):
     known:
         Every name the registry would have accepted.
     """
+
+    #: Stable machine-readable identifier (see :mod:`repro.core.errors`).
+    code = "unknown-solver"
 
     def __init__(
         self,
@@ -57,3 +65,5 @@ class UnknownSolverError(KeyError, ValueError):
 class CapabilityError(ValueError):
     """A registered solver was asked to run outside its capabilities
     (e.g. a SINGLEPROC algorithm on a problem with parallel tasks)."""
+
+    code = "capability"

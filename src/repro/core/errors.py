@@ -5,6 +5,12 @@ can catch everything coming from this package with a single ``except`` clause
 while still distinguishing structural problems (:class:`GraphStructureError`),
 infeasible or invalid assignments (:class:`InvalidMatchingError`) and solver
 misuse (:class:`SolverError`).
+
+Every class carries a stable, machine-readable ``code`` string — the
+identifier :mod:`repro.service` puts on the wire, and the contract any
+non-Python client can switch on.  Codes are part of the public API:
+renaming one is a breaking protocol change, so they are frozen here
+next to the classes they identify.
 """
 
 from __future__ import annotations
@@ -12,6 +18,10 @@ from __future__ import annotations
 
 class SemiMatchError(Exception):
     """Base class for all errors raised by the repro library."""
+
+    #: Stable machine-readable identifier (kebab-case).  Subclasses
+    #: override; transports report it instead of matching on ``str(e)``.
+    code = "semimatch-error"
 
 
 class GraphStructureError(SemiMatchError, ValueError):
@@ -22,9 +32,13 @@ class GraphStructureError(SemiMatchError, ValueError):
     task vertex, or non-positive weights.
     """
 
+    code = "graph-structure"
+
 
 class InvalidMatchingError(SemiMatchError, ValueError):
     """An assignment is not a valid semi-matching for its instance."""
+
+    code = "invalid-matching"
 
 
 class SolverError(SemiMatchError, RuntimeError):
@@ -34,6 +48,10 @@ class SolverError(SemiMatchError, RuntimeError):
     asking the exhaustive solver for an instance beyond its size guard.
     """
 
+    code = "solver-error"
+
 
 class InfeasibleError(SolverError):
     """The instance admits no feasible assignment (some task has no edge)."""
+
+    code = "infeasible"

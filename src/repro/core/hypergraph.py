@@ -108,11 +108,6 @@ class TaskHypergraph:
         if np.any(sizes == 0):
             bad = int(np.flatnonzero(sizes == 0)[0])
             raise GraphStructureError(f"hyperedge {bad} has an empty processor set")
-        for k, ps in enumerate(plists):
-            if len(np.unique(ps)) != len(ps):
-                raise GraphStructureError(
-                    f"hyperedge {k} contains duplicate processors"
-                )
         hedge_ptr = np.zeros(nh + 1, dtype=np.int64)
         np.cumsum(sizes, out=hedge_ptr[1:])
         hedge_procs = (
@@ -122,6 +117,20 @@ class TaskHypergraph:
             hedge_procs.min() < 0 or hedge_procs.max() >= n_procs
         ):
             raise GraphStructureError("hyperedge processor id out of range")
+        pin_owner = np.repeat(np.arange(nh, dtype=np.int64), sizes)
+        # duplicate pins within a hyperedge: one vectorized pass over
+        # (owner, proc) pairs — a per-hyperedge np.unique loop costs
+        # more than the rest of construction on many-small-edge
+        # instances (the service's wire-deserialisation hot path)
+        if hedge_procs.size:
+            order = np.lexsort((hedge_procs, pin_owner))
+            sp, so = hedge_procs[order], pin_owner[order]
+            dup = (sp[1:] == sp[:-1]) & (so[1:] == so[:-1])
+            if np.any(dup):
+                bad = int(so[1:][dup][0])
+                raise GraphStructureError(
+                    f"hyperedge {bad} contains duplicate processors"
+                )
 
         # task -> hyperedges (stable: preserves input hyperedge order)
         order_t = np.argsort(ht, kind="stable")
@@ -131,7 +140,6 @@ class TaskHypergraph:
         np.cumsum(task_ptr, out=task_ptr)
 
         # processor -> hyperedges
-        pin_owner = np.repeat(np.arange(nh, dtype=np.int64), sizes)
         order_p = np.argsort(hedge_procs, kind="stable")
         proc_hedges = pin_owner[order_p]
         proc_ptr = np.zeros(n_procs + 1, dtype=np.int64)

@@ -28,6 +28,7 @@ portfolio statistics.  Results come back in input order.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence, Union
@@ -172,6 +173,10 @@ class BatchSolver:
             )
         )
         self._pool = None  # lazily created, reused across solve_many calls
+        # one engine may serve several threads (the service's batcher
+        # flushes different option-groups concurrently): guard the
+        # lazy pool creation so a race cannot leak a second executor
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -367,20 +372,22 @@ class BatchSolver:
         down by :meth:`close` (or interpreter exit via
         :mod:`concurrent.futures`' own atexit hook).
         """
-        if self._pool is None:
-            pool_cls = (
-                ProcessPoolExecutor if self.executor == "process"
-                else ThreadPoolExecutor
-            )
-            self._pool = pool_cls(max_workers=self.max_workers)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                pool_cls = (
+                    ProcessPoolExecutor if self.executor == "process"
+                    else ThreadPoolExecutor
+                )
+                self._pool = pool_cls(max_workers=self.max_workers)
+            return self._pool
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; solver stays usable —
         the next pooled call recreates it)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "BatchSolver":
         return self

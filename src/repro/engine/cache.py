@@ -104,6 +104,20 @@ class ResultCache:
     neither side can mutate the other's view) plus a small provenance
     dict.  ``hits``/``misses`` make cache effectiveness observable in
     benchmarks and sweeps.
+
+    Concurrency contract (exercised by the thread-pool path of
+    :meth:`BatchSolver.solve_many` and the service's executor threads,
+    pinned by a stress regression test in ``tests/test_engine.py``):
+    every structural operation — lookup + LRU ``move_to_end``, insert +
+    eviction loop, ``clear`` — and every counter update runs under
+    ``_lock``, so concurrent get/put/evict can never corrupt the
+    ``OrderedDict``, overshoot ``maxsize``, or drop counter increments.
+    ``get``/``put`` copy their arrays *inside* the lock; the only
+    unlocked work is building the candidate value in :meth:`put`, which
+    touches no shared state.  Note the contract is per-operation: a
+    get-miss followed by a put is *not* atomic, which is exactly why
+    concurrent identical requests need the service's single-flight
+    layer (:mod:`repro.service.dedup`) to share one solve.
     """
 
     def __init__(self, maxsize: int = 4096):

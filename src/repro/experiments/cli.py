@@ -9,6 +9,8 @@ Installed as ``semimatch`` (see pyproject).  Examples::
     semimatch list
     semimatch solvers
     semimatch replay churn.jsonl --compare
+    semimatch serve --port 7431
+    semimatch submit instance.json --method EVG+ls --port 7431
 
 ``--scale`` controls which Table I rows run: ``small`` (n=1280),
 ``medium`` (n<=5120) or ``full`` (all 24 families).  Results print as
@@ -163,6 +165,53 @@ def main(argv: list[str] | None = None) -> int:
              "(with result caching across cells)",
     )
 
+    sv = subs.add_parser(
+        "serve",
+        help="run the async solve server (repro.service) on a TCP port",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7431)
+    sv.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="micro-batcher flush size (default: 64)",
+    )
+    sv.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="micro-batcher latency budget (default: 2ms)",
+    )
+    sv.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="global admission cap on in-flight solves (default: 1024)",
+    )
+    sv.add_argument(
+        "--max-sessions", type=int, default=64, metavar="N",
+        help="cap on hosted dynamic sessions (default: 64)",
+    )
+    sv.add_argument(
+        "--allow-shutdown", action="store_true",
+        help="honor the protocol 'shutdown' op (supervised deployments)",
+    )
+
+    sb = subs.add_parser(
+        "submit",
+        help="solve a JSON instance on a running `semimatch serve` server",
+    )
+    sb.add_argument("path", help="instance file (from `generate` or the io API)")
+    sb.add_argument("--host", default="127.0.0.1")
+    sb.add_argument("--port", type=int, default=7431)
+    sb.add_argument(
+        "--method", default=None,
+        help="any registered solver name or method expression "
+             "(default: the server's configured default)",
+    )
+    sb.add_argument(
+        "--refine", action="store_true", help="post-optimise with local search"
+    )
+    sb.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="submit the same request N times (cache/dedup demo)",
+    )
+
     st = subs.add_parser(
         "stats", help="describe a JSON instance (shape, degrees, balance)"
     )
@@ -272,6 +321,73 @@ def main(argv: list[str] | None = None) -> int:
                 f"(bottleneck {scratch.makespan:g}) -> "
                 f"incremental speedup {t_scratch / max(t_inc, 1e-9):.1f}x"
             )
+        return 0
+
+    if args.command == "serve":
+        import asyncio
+
+        from ..service import SolveServer
+
+        server = SolveServer(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_delay_s=args.batch_window_ms / 1000.0,
+            max_pending=args.max_pending,
+            max_sessions=args.max_sessions,
+            allow_shutdown=args.allow_shutdown,
+        )
+
+        async def _serve():
+            await server.start()
+            print(
+                f"semimatch service listening on "
+                f"{server.host}:{server.port} "
+                f"(batch<= {args.max_batch}, "
+                f"window {args.batch_window_ms:g}ms)",
+                flush=True,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("interrupted; shutting down")
+        return 0
+
+    if args.command == "submit":
+        from ..io import load_instance
+        from ..service import RemoteError, ServiceClient
+
+        inst = load_instance(args.path)
+        fields = {}
+        if args.method is not None:
+            fields["method"] = args.method
+        if args.refine:
+            fields["refine"] = True
+        try:
+            with ServiceClient(host=args.host, port=args.port) as client:
+                for _ in range(max(args.repeat, 1)):
+                    r = client.solve(inst, **fields)
+                    flags = "".join(
+                        f" [{f}]"
+                        for f, on in (
+                            ("cache hit", r.cache_hit),
+                            ("deduped", r.deduped),
+                        )
+                        if on
+                    )
+                    print(
+                        f"{r.method} -> {r.winner}: makespan "
+                        f"{r.makespan:g} ({r.wall_time_s:.6f}s){flags}"
+                    )
+        except OSError as exc:
+            parser.error(
+                f"cannot reach semimatch service at "
+                f"{args.host}:{args.port}: {exc}"
+            )
+        except RemoteError as exc:
+            parser.error(f"[{exc.code}] {exc}")
         return 0
 
     if args.command == "solve":

@@ -1,0 +1,91 @@
+"""repro.service — the async solve server and its clients.
+
+Everything before this package answers *library* calls; this one
+answers **traffic**: a long-lived asyncio TCP server speaking
+newline-delimited JSON (:mod:`~repro.service.protocol`), built so the
+engine's throughput machinery finally amortizes across requests
+instead of across one process's loop —
+
+* **adaptive micro-batching** (:class:`MicroBatcher`) coalesces
+  compatible requests into :meth:`BatchSolver.solve_many` calls under
+  a latency budget;
+* **single-flight dedup** (:class:`SingleFlight`) collapses concurrent
+  identical requests into one solve keyed exactly like the engine's
+  result cache;
+* **sessions** (:class:`SessionManager`) host server-side
+  :class:`~repro.dynamic.DynamicInstance` streams repaired by the
+  :class:`~repro.dynamic.IncrementalSolver`;
+* **admission control** sheds overload with a typed error instead of
+  queueing into timeouts, and :class:`Metrics` serves counters and
+  latency/batch-size histograms over the same protocol.
+
+Quick start
+-----------
+Server::
+
+    semimatch serve --port 7431
+
+Client::
+
+    from repro.service import ServiceClient
+    with ServiceClient(port=7431) as client:
+        result = client.solve(problem, method="EVG+ls")
+        result.makespan, result.winner, result.deduped
+
+Results are bit-identical to a local ``repro.api.solve`` of the same
+``(instance, options)``.
+"""
+
+from .batching import MicroBatcher
+from .client import (
+    AsyncServiceClient,
+    RemoteSession,
+    RemoteSolveResult,
+    ServiceClient,
+    instance_to_wire,
+    options_to_wire,
+)
+from .dedup import SingleFlight
+from .metrics import Histogram, Metrics
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    OverloadedError,
+    ProtocolError,
+    RemoteError,
+    ServiceError,
+    SessionLimitError,
+    SessionNotFoundError,
+)
+from .server import SolveServer
+from .sessions import Session, SessionManager
+
+__all__ = [
+    "SolveServer",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "RemoteSolveResult",
+    "RemoteSession",
+    "MicroBatcher",
+    "SingleFlight",
+    "SessionManager",
+    "Session",
+    "Metrics",
+    "Histogram",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "ErrorCode",
+    "ServiceError",
+    "ProtocolError",
+    "OverloadedError",
+    "RemoteError",
+    "SessionNotFoundError",
+    "SessionLimitError",
+    "instance_to_wire",
+    "options_to_wire",
+]

@@ -1,0 +1,451 @@
+"""Clients for the solve service: blocking sockets and asyncio.
+
+:class:`ServiceClient` is the ergonomic blocking client — one call,
+one answer — with an explicit :meth:`~ServiceClient.solve_pipelined`
+for throughput (send every frame, then collect the out-of-order
+responses by correlation id).  :class:`AsyncServiceClient` multiplexes
+any number of concurrent coroutine calls over one connection, which is
+what actually exercises the server's micro-batcher and single-flight
+layers from a single process.
+
+Solve answers come back as :class:`RemoteSolveResult`: the assignment
+as an int64 array plus the provenance the server reported.  Matchings
+are **bit-identical** to a local :func:`repro.api.solve` of the same
+``(instance, options)`` — the wire is JSON, ints survive exactly and
+floats round-trip through the shortest-repr encoding — and
+:meth:`RemoteSolveResult.matching` re-validates against the caller's
+own instance, exactly like the engine's cache-hit path does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..api.options import SolveOptions
+from ..core.bipartite import BipartiteGraph
+from ..core.hypergraph import TaskHypergraph
+from ..core.semimatching import HyperSemiMatching
+from ..dynamic import DynamicInstance, Mutation
+from ..sched.model import SchedulingProblem
+from .protocol import (
+    MAX_FRAME_BYTES,
+    RemoteError,
+    decode_frame,
+    encode_frame,
+    request,
+)
+
+__all__ = [
+    "RemoteSolveResult",
+    "RemoteSession",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "instance_to_wire",
+    "options_to_wire",
+]
+
+
+# ----------------------------------------------------------------------
+# wire conversion
+# ----------------------------------------------------------------------
+def instance_to_wire(instance: Any) -> dict:
+    """An instance as its protocol dict (pass-through for dicts)."""
+    if isinstance(instance, dict):
+        return instance
+    if isinstance(instance, SchedulingProblem):
+        instance = instance.to_hypergraph()
+    if isinstance(instance, DynamicInstance):
+        return instance.to_state()
+    if isinstance(instance, TaskHypergraph):
+        from ..io.serialize import hypergraph_to_dict
+
+        return hypergraph_to_dict(instance)
+    if isinstance(instance, BipartiteGraph):
+        from ..io.serialize import bipartite_to_dict
+
+        return bipartite_to_dict(instance)
+    raise TypeError(
+        "instance must be a SchedulingProblem, TaskHypergraph, "
+        f"BipartiteGraph, DynamicInstance or dict, got "
+        f"{type(instance).__name__}"
+    )
+
+
+def options_to_wire(
+    options: SolveOptions | None = None, **fields: Any
+) -> dict | None:
+    """A :class:`SolveOptions` (or its keyword fields) as the protocol's
+    options dict; ``None`` when nothing was requested (server
+    defaults)."""
+    if options is None:
+        if not fields:
+            return None
+        options = SolveOptions(**fields)
+    elif fields:
+        raise TypeError("pass options= or keyword fields, not both")
+    method = options.method
+    out: dict[str, Any] = {
+        "method": method if isinstance(method, str) else method.canonical(),
+        "refine": options.refine,
+        "seed": options.seed,
+        "backend": options.backend,
+    }
+    if options.portfolio is not None:
+        out["portfolio"] = [
+            e if isinstance(e, str) else e.canonical()
+            for e in options.portfolio
+        ]
+    if options.time_budget is not None:
+        out["time_budget"] = options.time_budget
+    return out
+
+
+def _mutation_to_wire(mutation: Mutation | dict) -> dict:
+    return mutation.to_dict() if isinstance(mutation, Mutation) else mutation
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass
+class RemoteSolveResult:
+    """One solve answer as it came off the wire."""
+
+    assignment: np.ndarray
+    makespan: float
+    winner: str | None
+    method: str
+    cache_hit: bool
+    deduped: bool
+    wall_time_s: float
+    raw: dict
+
+    @staticmethod
+    def from_wire(result: dict) -> "RemoteSolveResult":
+        return RemoteSolveResult(
+            assignment=np.asarray(result["assignment"], dtype=np.int64),
+            makespan=float(result["makespan"]),
+            winner=result.get("winner"),
+            method=result.get("method", ""),
+            cache_hit=bool(result.get("cache_hit", False)),
+            deduped=bool(result.get("deduped", False)),
+            wall_time_s=float(result.get("wall_time_s", 0.0)),
+            raw=result,
+        )
+
+    @property
+    def hedge_of_task(self) -> np.ndarray:
+        return self.assignment
+
+    def matching(self, instance: Any) -> HyperSemiMatching:
+        """Rebuild (and thereby re-validate) the matching against the
+        caller's own copy of the instance."""
+        if isinstance(instance, SchedulingProblem):
+            instance = instance.to_hypergraph()
+        return HyperSemiMatching(instance, self.assignment)
+
+
+class RemoteSession:
+    """Client handle of one server-side dynamic session."""
+
+    def __init__(self, client: "ServiceClient", info: dict):
+        self._client = client
+        self.id = info["session"]
+        self.info = info
+
+    def mutate(
+        self,
+        mutations: Iterable[Mutation | dict],
+        *,
+        include_assignment: bool = False,
+    ) -> dict:
+        """Apply a transactional batch of mutations; returns the
+        session description with the repaired bottleneck."""
+        self.info = self._client.call(
+            "session.mutate",
+            session=self.id,
+            mutations=[_mutation_to_wire(m) for m in mutations],
+            include_assignment=include_assignment,
+        )
+        return self.info
+
+    def apply(self, mutation: Mutation | dict, **kw: Any) -> dict:
+        """Apply one mutation (sugar over :meth:`mutate`)."""
+        return self.mutate([mutation], **kw)
+
+    def bottleneck(self) -> float:
+        """The current repaired bottleneck (an empty mutate batch)."""
+        return float(self.mutate([])["bottleneck"])
+
+    def close(self) -> dict:
+        """Tear the server-side session down; returns its final
+        description."""
+        return self._client.call("session.close", session=self.id)
+
+
+# ----------------------------------------------------------------------
+# blocking client
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """Blocking NDJSON client over one TCP connection.
+
+    Not thread-safe (one request/response conversation at a time);
+    use one client per thread, or :class:`AsyncServiceClient` for
+    in-process concurrency.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7431,
+        *,
+        timeout: float | None = 60.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    # -- plumbing --------------------------------------------------------
+    def _send(self, op: str, payload: dict) -> int:
+        rid = next(self._ids)
+        self._sock.sendall(encode_frame(request(op, rid, **payload)))
+        return rid
+
+    def _recv(self) -> dict:
+        line = self._rfile.readline(MAX_FRAME_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_frame(line)
+
+    @staticmethod
+    def _unwrap(envelope: dict) -> dict:
+        if envelope.get("ok"):
+            return envelope["result"]
+        err = envelope.get("error") or {}
+        raise RemoteError(
+            err.get("code", "internal"), err.get("message", "unknown error")
+        )
+
+    def call(self, op: str, **payload: Any) -> dict:
+        """One request, one response (the building block)."""
+        rid = self._send(op, payload)
+        envelope = self._recv()
+        if envelope.get("id") != rid:
+            raise RemoteError(
+                "bad-frame",
+                f"response correlates to {envelope.get('id')!r}, "
+                f"expected {rid!r}",
+            )
+        return self._unwrap(envelope)
+
+    # -- surface ---------------------------------------------------------
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def solve(
+        self,
+        instance: Any,
+        *,
+        options: SolveOptions | None = None,
+        **fields: Any,
+    ) -> RemoteSolveResult:
+        """Solve one instance remotely."""
+        payload: dict[str, Any] = {"instance": instance_to_wire(instance)}
+        wire_options = options_to_wire(options, **fields)
+        if wire_options is not None:
+            payload["options"] = wire_options
+        return RemoteSolveResult.from_wire(self.call("solve", **payload))
+
+    def solve_pipelined(
+        self,
+        instances: Sequence[Any],
+        *,
+        options: SolveOptions | None = None,
+        **fields: Any,
+    ) -> list[RemoteSolveResult]:
+        """Send every request up front, then collect the out-of-order
+        responses; results come back in input order.
+
+        This is the sync client's throughput mode: the whole burst goes
+        out as one write, so the server sees it in as few reads as the
+        transport allows and is free to micro-batch and dedup across
+        all of it."""
+        wire_options = options_to_wire(options, **fields)
+        rids = []
+        frames = []
+        for instance in instances:
+            payload: dict[str, Any] = {
+                "instance": instance_to_wire(instance)
+            }
+            if wire_options is not None:
+                payload["options"] = wire_options
+            rid = next(self._ids)
+            rids.append(rid)
+            frames.append(encode_frame(request("solve", rid, **payload)))
+        self._sock.sendall(b"".join(frames))
+        by_id: dict[Any, dict] = {}
+        want = set(rids)
+        while want:
+            envelope = self._recv()
+            rid = envelope.get("id")
+            if rid in want:
+                want.discard(rid)
+                by_id[rid] = envelope
+        return [
+            RemoteSolveResult.from_wire(self._unwrap(by_id[rid]))
+            for rid in rids
+        ]
+
+    def open_session(
+        self,
+        baseline: Any,
+        *,
+        method: str = "auto",
+        fallback_ratio: float = 0.25,
+        min_fallback_region: int = 4,
+        ls_moves: int = 64,
+    ) -> RemoteSession:
+        """Host ``baseline`` in a server-side dynamic session."""
+        info = self.call(
+            "session.open",
+            baseline=instance_to_wire(baseline),
+            method=method,
+            fallback_ratio=fallback_ratio,
+            min_fallback_region=min_fallback_region,
+            ls_moves=ls_moves,
+        )
+        return RemoteSession(self, info)
+
+    def metrics(self) -> dict:
+        return self.call("metrics")
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# asyncio client
+# ----------------------------------------------------------------------
+class AsyncServiceClient:
+    """Multiplexing asyncio client: any number of concurrent calls on
+    one connection, correlated by request id.
+
+    >>> client = await AsyncServiceClient.connect(port=port)  # doctest: +SKIP
+    >>> results = await asyncio.gather(                       # doctest: +SKIP
+    ...     *(client.solve(hg) for hg in instances))
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiters: dict[Any, asyncio.Future] = {}
+        self._dead: Exception | None = None
+        self._pump = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7431
+    ) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES
+        )
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                envelope = decode_frame(line)
+                fut = self._waiters.pop(envelope.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(envelope)
+        except Exception as exc:
+            # flag first, then fail the waiters: a call() racing this
+            # cleanup either registered in time to be failed here, or
+            # sees the flag on its post-registration check
+            self._dead = exc
+            for fut in self._waiters.values():
+                if not fut.done():
+                    fut.set_exception(exc)
+                    fut.exception()
+            self._waiters.clear()
+
+    async def call(self, op: str, **payload: Any) -> dict:
+        if self._dead is not None:
+            raise ConnectionError(
+                f"connection is closed: {self._dead}"
+            ) from self._dead
+        rid = next(self._ids)
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[rid] = fut
+        if self._dead is not None and not fut.done():
+            # the read loop died between the check above and now: no
+            # reader exists to resolve this waiter
+            self._waiters.pop(rid, None)
+            raise ConnectionError(
+                f"connection is closed: {self._dead}"
+            ) from self._dead
+        self._writer.write(encode_frame(request(op, rid, **payload)))
+        await self._writer.drain()
+        envelope = await fut
+        return ServiceClient._unwrap(envelope)
+
+    async def ping(self) -> dict:
+        return await self.call("ping")
+
+    async def solve(
+        self,
+        instance: Any,
+        *,
+        options: SolveOptions | None = None,
+        **fields: Any,
+    ) -> RemoteSolveResult:
+        payload: dict[str, Any] = {"instance": instance_to_wire(instance)}
+        wire_options = options_to_wire(options, **fields)
+        if wire_options is not None:
+            payload["options"] = wire_options
+        return RemoteSolveResult.from_wire(
+            await self.call("solve", **payload)
+        )
+
+    async def metrics(self) -> dict:
+        return await self.call("metrics")
+
+    async def shutdown(self) -> dict:
+        return await self.call("shutdown")
+
+    async def close(self) -> None:
+        self._pump.cancel()
+        try:
+            await self._pump
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

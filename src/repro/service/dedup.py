@@ -1,0 +1,96 @@
+"""Single-flight deduplication of identical in-flight solves.
+
+The engine's :class:`~repro.engine.cache.ResultCache` answers *repeat*
+requests, but its get-miss → solve → put sequence is not atomic: N
+identical requests arriving concurrently all miss and all solve.  On a
+service front-end that is the common hot case (every client asking for
+today's instance at once), so :class:`SingleFlight` closes the gap at
+the coordination layer: the first request for a key becomes the
+*leader* and runs the solve; every request for the same key that
+arrives while the leader is in flight becomes a *follower* and awaits
+the leader's future instead of solving.  The leader's result lands in
+the shared ResultCache as usual, so requests arriving *after* the
+flight completes are plain cache hits.
+
+Keys are exactly the engine's cache keys —
+``(instance_digest, *SolveOptions.cache_token())`` — so two requests
+dedup iff they would have shared a cache entry.
+
+Single event loop only (the server's); no locks needed because all
+bookkeeping happens between awaits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Coalesce concurrent calls with equal keys into one execution.
+
+    ``leaders``/``followers`` count executions vs shared awaits —
+    the service reports them as ``dedup_leaders``/``dedup_followers``.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Future] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Whether a flight for ``key`` is currently in the air."""
+        return key in self._inflight
+
+    async def run(
+        self, key: Hashable, thunk: Callable[[], Awaitable[T]]
+    ) -> tuple[T, bool]:
+        """Await ``thunk()`` — or an already-running flight for ``key``.
+
+        Returns ``(result, shared)`` where ``shared`` tells whether this
+        call was a follower.  A leader's exception propagates to every
+        follower of its flight; each flight is one attempt (the next
+        request after a failed flight leads a fresh one).  A *cancelled*
+        leader (its connection dropped mid-flight) must not take its
+        followers down with it: they retry the key — usually becoming a
+        leader whose solve is answered by the result cache.
+        """
+        while True:
+            existing = self._inflight.get(key)
+            if existing is None:
+                break
+            self.followers += 1
+            # awaiting the shared future directly is safe: cancelling a
+            # follower cancels only its own await, never the flight
+            try:
+                return await existing, True
+            except asyncio.CancelledError:
+                if not existing.cancelled():
+                    raise  # this follower was cancelled, not the flight
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = fut
+        self.leaders += 1
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            if isinstance(exc, asyncio.CancelledError):
+                # the leader died mid-flight: followers must not hang
+                fut.cancel()
+            else:
+                fut.set_exception(exc)
+                # mark retrieved so a follower-less failed flight does
+                # not warn "exception was never retrieved" at GC time
+                fut.exception()
+            raise
+        else:
+            fut.set_result(result)
+            return result, False
+        finally:
+            del self._inflight[key]

@@ -1,0 +1,542 @@
+"""The asyncio solve server.
+
+One :class:`SolveServer` owns the whole serving stack on one TCP
+endpoint:
+
+* the **protocol** layer (:mod:`repro.service.protocol`) frames and
+  validates NDJSON envelopes;
+* **admission control** bounds work before it starts: a global cap on
+  queued solves plus a per-connection in-flight cap, and anything over
+  either limit is answered immediately with the ``overloaded``
+  load-shed error instead of silently queueing to time out;
+* the **single-flight** layer (:mod:`repro.service.dedup`) collapses
+  concurrent identical requests — same instance digest, same canonical
+  options — into one engine solve whose result every caller shares;
+* the **micro-batcher** (:mod:`repro.service.batching`) coalesces the
+  surviving compatible requests into
+  :meth:`~repro.engine.batch.BatchSolver.solve_many` calls under a
+  latency budget;
+* **sessions** (:mod:`repro.service.sessions`) host server-side
+  :class:`~repro.dynamic.DynamicInstance` + incremental solvers fed by
+  wire mutation records;
+* **metrics** (:mod:`repro.service.metrics`) count it all and serve it
+  back through the ``metrics`` op.
+
+The engine is shared across every path — by default a serial
+:class:`BatchSolver` on the process-wide result cache, so warm-path
+requests are answered from the same content-addressed
+:class:`~repro.engine.cache.ResultCache` (and the kernels' digest-keyed
+compile cache) that in-process ``solve()`` calls feed, and repeated
+instances never recompile.  Solves run in executor threads; the event
+loop only parses, routes and frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any
+
+from ..api.options import SolveOptions
+from ..api.result import SolveResult
+from ..core.hypergraph import TaskHypergraph
+from ..engine.batch import BatchSolver
+from ..engine.cache import instance_digest
+from .batching import MicroBatcher
+from .dedup import SingleFlight
+from .metrics import Metrics
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ErrorCode,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_code_for,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from .sessions import SessionManager
+from .wire import hypergraph_from_wire
+
+__all__ = ["SolveServer"]
+
+#: Ops that represent real solving work and therefore pass admission
+#: control (``ping``/``metrics``/``session.close`` stay answerable even
+#: on a saturated server — you can always ask it how it is doing).
+_ADMITTED_OPS = ("solve", "session.open", "session.mutate")
+
+
+@dataclass(eq=False)  # identity semantics: conns live in a set
+class _Conn:
+    """Per-connection state."""
+
+    id: int
+    writer: asyncio.StreamWriter
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    inflight: int = 0
+    tasks: set = field(default_factory=set)
+
+
+class _SolveTicket:
+    """One admitted solve's slot in the expected-arrivals count.
+
+    Consumed exactly once — normally by :meth:`SolveServer._op_solve`
+    the moment the request reaches the batching layer (or proves to be
+    a dedup follower), and as a fallback by the task's done-callback if
+    the handler was cancelled or failed before ever getting there."""
+
+    __slots__ = ("consumed",)
+
+    def __init__(self) -> None:
+        self.consumed = False
+
+
+class SolveServer:
+    """A long-lived NDJSON-over-TCP solve service.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    engine:
+        The :class:`BatchSolver` behind every solve.  Defaults to a
+        serial engine on the process-wide shared result cache — solves
+        then run one at a time inside executor threads, where the
+        kernels' compile cache and the result cache stay warm.
+    max_batch, max_delay_s:
+        Micro-batcher knobs (see :class:`MicroBatcher`).
+    max_pending:
+        Global admission cap: solving-class requests in flight across
+        all connections.
+    per_conn_inflight:
+        Per-connection in-flight cap for solving-class requests.
+    max_sessions:
+        Cap on concurrently hosted dynamic sessions.
+    allow_shutdown:
+        Honor the ``shutdown`` op (tests, benches and supervised
+        deployments); off by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine: BatchSolver | None = None,
+        max_batch: int = 64,
+        max_delay_s: float = 0.002,
+        max_pending: int = 1024,
+        per_conn_inflight: int = 256,
+        max_sessions: int = 64,
+        allow_shutdown: bool = False,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if per_conn_inflight < 1:
+            raise ValueError("per_conn_inflight must be at least 1")
+        self.host = host
+        self.port = port
+        self.engine = (
+            engine
+            if engine is not None
+            else BatchSolver(max_workers=1, executor="serial", cache=True)
+        )
+        self.metrics = Metrics()
+        self.batcher = MicroBatcher(
+            self.engine,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            metrics=self.metrics,
+            pending_fn=lambda: self._solve_expected,
+        )
+        self.flight = SingleFlight()
+        self.sessions = SessionManager(max_sessions=max_sessions)
+        self.max_pending = int(max_pending)
+        self.per_conn_inflight = int(per_conn_inflight)
+        self.allow_shutdown = bool(allow_shutdown)
+        self._pending = 0
+        #: admitted solve requests that have not yet reached the
+        #: batcher (nor been exempted as dedup followers) — the
+        #: batcher's early-flush signal
+        self._solve_expected = 0
+        self._conn_ids = itertools.count(1)
+        self._conns: set[_Conn] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_task: asyncio.Task | None = None
+        self._stopping = asyncio.Event()
+        # normalizing SolveOptions walks the registry; requests in one
+        # workload overwhelmingly repeat a handful of option dicts, so
+        # memoize wire dict -> (normalized options, cache token)
+        self._options_memo: dict[str, tuple[SolveOptions, tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_FRAME_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` (when needed) and run until :meth:`stop`."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting, flush in-flight batches, release sessions.
+
+        Lingering connections are closed outright rather than awaited:
+        on Python >= 3.12.1 ``Server.wait_closed`` blocks until every
+        client disconnects, which would let one idle client hold
+        shutdown hostage."""
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for conn in list(self._conns):
+            conn.writer.close()
+        await self.batcher.flush_all()
+        self._stopping.set()
+
+    # ------------------------------------------------------------------
+    # connection loop
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(id=next(self._conn_ids), writer=writer)
+        self._conns.add(conn)
+        self.metrics.incr("connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # an overlong line cannot be re-synchronised: report
+                    # and drop the connection
+                    await self._send(
+                        conn,
+                        error_response(
+                            None,
+                            ErrorCode.FRAME_TOO_LARGE,
+                            f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._dispatch_frame(conn, line)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conns.discard(conn)
+            for task in list(conn.tasks):
+                task.cancel()
+            closed = self.sessions.close_owned(conn.id)
+            if closed:
+                self.metrics.incr("sessions_reclaimed", closed)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_frame(self, conn: _Conn, line: bytes) -> None:
+        req_id: Any = None
+        try:
+            obj = decode_frame(line)
+            req_id = obj.get("id")
+            op, req_id, payload = validate_request(obj)
+        except ProtocolError as exc:
+            self.metrics.incr("requests")
+            self.metrics.incr(f"errors.{exc.code}")
+            await self._send(
+                conn, error_response(req_id, exc.code, str(exc))
+            )
+            return
+        self.metrics.incr("requests")
+        self.metrics.incr(f"requests.{op}")
+        admitted = op in _ADMITTED_OPS
+        if admitted and (
+            self._pending >= self.max_pending
+            or conn.inflight >= self.per_conn_inflight
+        ):
+            self.metrics.incr("load_shed")
+            self.metrics.incr(f"errors.{ErrorCode.OVERLOADED}")
+            await self._send(
+                conn,
+                error_response(
+                    req_id,
+                    ErrorCode.OVERLOADED,
+                    f"server over capacity ({self._pending} pending, "
+                    f"{conn.inflight} on this connection); retry later",
+                ),
+            )
+            return
+        ticket: _SolveTicket | None = None
+        if admitted:
+            # account at admission time, not inside the handler task:
+            # a burst must not slip past the cap while tasks spin up
+            self._pending += 1
+            conn.inflight += 1
+            if op == "solve":
+                self._solve_expected += 1
+                ticket = _SolveTicket()
+        task = asyncio.get_running_loop().create_task(
+            self._handle(conn, op, req_id, payload, ticket)
+        )
+        conn.tasks.add(task)
+
+        def _release(t, conn=conn, admitted=admitted, ticket=ticket):
+            # done-callbacks run even for tasks cancelled before their
+            # first step, so admission accounting can never leak the
+            # way a `finally` inside the (never-started) coroutine would
+            conn.tasks.discard(t)
+            if admitted:
+                self._pending -= 1
+                conn.inflight -= 1
+            self._consume(ticket)
+
+        task.add_done_callback(_release)
+
+    def _consume(self, ticket: _SolveTicket | None) -> None:
+        """Retire a solve's expected-arrivals slot (idempotent)."""
+        if ticket is not None and not ticket.consumed:
+            ticket.consumed = True
+            self._solve_expected -= 1
+
+    async def _send(self, conn: _Conn, envelope: dict) -> None:
+        frame = encode_frame(envelope)
+        async with conn.write_lock:
+            conn.writer.write(frame)
+            try:
+                await conn.writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self,
+        conn: _Conn,
+        op: str,
+        req_id: Any,
+        payload: dict,
+        ticket: _SolveTicket | None,
+    ) -> None:
+        try:
+            result = await self._execute(conn, op, payload, ticket)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            code = error_code_for(exc)
+            self.metrics.incr(f"errors.{code}")
+            await self._send(conn, error_response(req_id, code, str(exc)))
+        else:
+            await self._send(conn, ok_response(req_id, result))
+
+    async def _execute(
+        self,
+        conn: _Conn,
+        op: str,
+        payload: dict,
+        ticket: _SolveTicket | None = None,
+    ) -> dict:
+        if op == "ping":
+            return {
+                "pong": True,
+                "server": {
+                    "max_batch": self.batcher.max_batch,
+                    "max_delay_s": self.batcher.max_delay_s,
+                    "max_pending": self.max_pending,
+                    "per_conn_inflight": self.per_conn_inflight,
+                    "max_sessions": self.sessions.max_sessions,
+                },
+            }
+        if op == "solve":
+            return await self._op_solve(payload, ticket)
+        if op == "session.open":
+            return await asyncio.get_running_loop().run_in_executor(
+                None, partial(self.sessions.open, payload, owner=conn.id)
+            )
+        if op == "session.mutate":
+            return await asyncio.get_running_loop().run_in_executor(
+                None,
+                partial(
+                    self.sessions.mutate,
+                    payload.get("session"),
+                    payload.get("mutations", []),
+                    owner=conn.id,
+                    include_assignment=bool(
+                        payload.get("include_assignment", False)
+                    ),
+                ),
+            )
+        if op == "session.close":
+            return await asyncio.get_running_loop().run_in_executor(
+                None,
+                partial(
+                    self.sessions.close,
+                    payload.get("session"),
+                    owner=conn.id,
+                ),
+            )
+        if op == "metrics":
+            return self._op_metrics()
+        if op == "shutdown":
+            if not self.allow_shutdown:
+                raise ProtocolError(
+                    "shutdown is disabled on this server",
+                    code=ErrorCode.BAD_REQUEST,
+                )
+            # keep a strong reference: an unreferenced task may be
+            # garbage-collected mid-await and shutdown would never land
+            self._stop_task = asyncio.get_running_loop().create_task(
+                self.stop()
+            )
+            return {"stopping": True}
+        raise ProtocolError(  # pragma: no cover - validate_request guards
+            f"unknown op {op!r}", code=ErrorCode.UNKNOWN_OP
+        )
+
+    # -- solve -----------------------------------------------------------
+    async def _op_solve(
+        self, payload: dict, ticket: _SolveTicket | None
+    ) -> dict:
+        t0 = time.perf_counter()
+        # this request has arrived at the solving layer: it no longer
+        # counts toward the batcher's expected-arrivals signal (there
+        # are no awaits between here and its enqueue below, so the
+        # window where it is counted nowhere cannot be observed)
+        self._consume(ticket)
+        hg = self._parse_instance(payload.get("instance"))
+        normalized, token = self._normalized_options(
+            payload.get("options")
+        )
+        key = (instance_digest(hg), *token)
+        if key in self.flight:
+            # a follower never enqueues: its exit from the expected
+            # count may have just made the queued requests provably
+            # alone, which only the batcher can act on
+            self.batcher.maybe_flush()
+        wire, shared = await self.flight.run(
+            key, lambda: self._solve_batched(hg, normalized, token)
+        )
+        if shared:
+            self.metrics.incr("dedup_followers")
+        elif wire["cache_hit"]:
+            self.metrics.incr("cache_hits")
+        self.metrics.observe_latency(time.perf_counter() - t0)
+        result = dict(wire)
+        result["deduped"] = shared
+        return result
+
+    async def _solve_batched(
+        self, hg: TaskHypergraph, options: SolveOptions, token: tuple
+    ) -> dict:
+        result = await self.batcher.solve(hg, options, token)
+        return self._solve_wire(result)
+
+    @staticmethod
+    def _solve_wire(result: SolveResult) -> dict:
+        method = result.options.method
+        return {
+            "assignment": result.matching.hedge_of_task.tolist(),
+            "makespan": float(result.makespan),
+            "winner": result.winner,
+            "method": (
+                method if isinstance(method, str) else method.canonical()
+            ),
+            "cache_hit": bool(result.cache_hit),
+            "wall_time_s": float(result.wall_time_s),
+        }
+
+    @staticmethod
+    def _parse_instance(data: Any) -> TaskHypergraph:
+        return hypergraph_from_wire(data)
+
+    _OPTION_FIELDS = (
+        "method", "refine", "seed", "portfolio", "time_budget", "backend",
+    )
+
+    def _normalized_options(
+        self, data: Any
+    ) -> tuple[SolveOptions, tuple]:
+        """Parse + normalize a wire options dict, memoized.
+
+        Normalization resolves the method expression against the
+        registry — measurable per-request work that a burst repeats
+        with the very same dict, so the memo is a large slice of the
+        warm path's overhead budget."""
+        try:
+            memo_key = json.dumps(data, sort_keys=True)
+        except (TypeError, ValueError):
+            memo_key = None
+        if memo_key is not None:
+            hit = self._options_memo.get(memo_key)
+            if hit is not None:
+                return hit
+        options = self._parse_options(data)
+        normalized = options.normalized()
+        token = normalized.cache_token()
+        if memo_key is not None:
+            if len(self._options_memo) >= 1024:
+                self._options_memo.clear()
+            self._options_memo[memo_key] = (normalized, token)
+        return normalized, token
+
+    def _parse_options(self, data: Any) -> SolveOptions:
+        if data is None:
+            return self.engine.defaults
+        if not isinstance(data, dict):
+            raise ProtocolError(
+                "'options' must be an object of SolveOptions fields",
+                code=ErrorCode.BAD_REQUEST,
+            )
+        unknown = sorted(set(data) - set(self._OPTION_FIELDS))
+        if unknown:
+            raise ProtocolError(
+                f"unknown options field(s) {unknown}; known: "
+                f"{list(self._OPTION_FIELDS)}",
+                code=ErrorCode.BAD_REQUEST,
+            )
+        fields = dict(data)
+        if "portfolio" in fields and fields["portfolio"] is not None:
+            if not isinstance(fields["portfolio"], list):
+                raise ProtocolError(
+                    "'portfolio' must be a list of method strings",
+                    code=ErrorCode.BAD_REQUEST,
+                )
+            fields["portfolio"] = tuple(fields["portfolio"])
+        return SolveOptions(**fields)
+
+    # -- metrics ---------------------------------------------------------
+    def _op_metrics(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["dedup"] = {
+            "leaders": self.flight.leaders,
+            "followers": self.flight.followers,
+            "inflight": len(self.flight),
+        }
+        snap["engine_cache"] = (
+            self.engine.cache.stats()
+            if self.engine.cache is not None
+            else None
+        )
+        snap["sessions"] = {"open": len(self.sessions)}
+        snap["pending"] = self._pending
+        return snap

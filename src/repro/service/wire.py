@@ -1,0 +1,67 @@
+"""Wire instance dicts → library objects, shared by every server op.
+
+``solve`` and ``session.open`` both receive instances as the
+:mod:`repro.io.serialize` dicts; parsing lives here once so the two
+paths accept the same kinds and reject unknown ones with the same
+``bad-request`` code (a client switching on error codes must not see
+two different answers for the identical mistake).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.hypergraph import TaskHypergraph
+from ..dynamic import DynamicInstance
+from .protocol import ErrorCode, ProtocolError
+
+__all__ = ["hypergraph_from_wire", "dynamic_from_wire"]
+
+_KINDS = ("hypergraph", "bipartite", "dynamic-instance")
+
+
+def _checked_kind(data: Any, what: str) -> str:
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"{what} must be an object (a {'/'.join(_KINDS)} dict "
+            "from repro.io.serialize / DynamicInstance.to_state)",
+            code=ErrorCode.BAD_REQUEST,
+        )
+    kind = data.get("kind")
+    if kind not in _KINDS:
+        raise ProtocolError(
+            f"unknown {what} kind {kind!r} (expected one of "
+            f"{list(_KINDS)})",
+            code=ErrorCode.BAD_REQUEST,
+        )
+    return kind
+
+
+def hypergraph_from_wire(data: Any, what: str = "instance") -> TaskHypergraph:
+    """The wire dict as an immutable :class:`TaskHypergraph`.
+
+    ``dynamic-instance`` states are accepted too — solving one means
+    solving its current compiled content."""
+    kind = _checked_kind(data, what)
+    if kind == "hypergraph":
+        from ..io.serialize import hypergraph_from_dict
+
+        return hypergraph_from_dict(data)
+    if kind == "bipartite":
+        from ..io.serialize import bipartite_from_dict
+
+        return TaskHypergraph.from_bipartite(bipartite_from_dict(data))
+    return DynamicInstance.from_state(data).to_hypergraph()
+
+
+def dynamic_from_wire(data: Any, what: str = "baseline") -> DynamicInstance:
+    """The wire dict as a (fresh) :class:`DynamicInstance`.
+
+    ``dynamic-instance`` states restore with full fidelity
+    (:meth:`DynamicInstance.from_state`); hypergraph/bipartite dicts
+    seed via :meth:`DynamicInstance.from_hypergraph`, so trace handles
+    line up with dense ids."""
+    kind = _checked_kind(data, what)
+    if kind == "dynamic-instance":
+        return DynamicInstance.from_state(data)
+    return DynamicInstance.from_hypergraph(hypergraph_from_wire(data, what))

@@ -1,5 +1,7 @@
 """Tests for the batch-solving engine (repro.engine)."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -305,3 +307,117 @@ class TestRunnerIntegration:
         assert cache.hits == 0
         run_instances(specs, n_seeds=2, algorithms=("SGH",), engine=engine)
         assert cache.hits == 2
+
+
+class TestCacheConcurrency:
+    """Regression: the engine's shared state under the thread-pool path.
+
+    Many threads hammering one :class:`ResultCache` with interleaved
+    get/put (and the LRU evictions a small ``maxsize`` forces) must
+    preserve its structural invariants — bounded size, exact hit/miss
+    accounting, isolated value copies — and a shared engine must never
+    leak a second worker pool when two threads trigger its lazy
+    creation at once."""
+
+    def test_concurrent_get_put_evict_keeps_invariants(self):
+        cache = ResultCache(maxsize=8)
+        n_threads, n_ops = 8, 400
+        barrier = threading.Barrier(n_threads)
+        errors: list[Exception] = []
+        gets = [0] * n_threads
+
+        def hammer(tid: int) -> None:
+            rng = np.random.default_rng(tid)
+            barrier.wait()
+            try:
+                for k in range(n_ops):
+                    # 16 keys over maxsize=8: every put can evict
+                    key = (int(rng.integers(0, 16)), "EVG")
+                    if rng.integers(0, 2):
+                        cache.put(
+                            key,
+                            np.array([tid, k], dtype=np.int64),
+                            {"winner": "EVG"},
+                        )
+                    else:
+                        gets[tid] += 1
+                        hit = cache.get(key)
+                        if hit is not None:
+                            # values stay well-formed copies: mutating
+                            # one cannot corrupt the stored entry
+                            assert hit.assignment.shape == (2,)
+                            hit.assignment[0] = -1
+                            again = cache.get(key)
+                            if again is not None:
+                                gets[tid] += 1
+                                assert again.assignment[0] != -1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["entries"] == len(cache) <= 8
+        assert stats["hits"] + stats["misses"] == sum(gets)
+
+    def test_lazy_pool_creation_never_leaks_a_second_pool(self):
+        engine = BatchSolver(max_workers=2, executor="thread")
+        barrier = threading.Barrier(8)
+        pools: list = []
+
+        def grab() -> None:
+            barrier.wait()
+            pools.append(engine._ensure_pool())
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(p) for p in pools}) == 1
+        engine.close()
+
+    def test_concurrent_solve_many_on_one_engine_is_correct(self, instances):
+        """Several threads sharing one engine (the service's batcher
+        flushing option-groups concurrently) agree with a serial run."""
+        expected = [
+            r.hedge_of_task.tolist()
+            for r in BatchSolver(
+                max_workers=1, cache=False
+            ).solve_many(instances)
+        ]
+        engine = BatchSolver(
+            max_workers=2, executor="thread", cache=ResultCache(maxsize=4)
+        )
+        results: dict[int, list] = {}
+        errors: list[Exception] = []
+        barrier = threading.Barrier(4)
+
+        def run(tid: int) -> None:
+            barrier.wait()
+            try:
+                results[tid] = [
+                    r.hedge_of_task.tolist()
+                    for r in engine.solve_many(instances)
+                ]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(tid,)) for tid in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        engine.close()
+        assert not errors
+        for tid in range(4):
+            assert results[tid] == expected

@@ -61,6 +61,14 @@ def test_dynamic_cluster_small():
     assert "failure drill" in out
 
 
+def test_service_roundtrip_small():
+    out = run_example("service_roundtrip.py", "64", "16")
+    assert "bit-identical to local solve: True" in out
+    assert "12 identical requests -> 1 engine solve" in out
+    assert "after add_task" in out
+    assert "server stopped" in out
+
+
 def test_batch_portfolio_small():
     out = run_example("batch_portfolio.py", "8", "2")
     assert "solve_many(portfolio)" in out

@@ -1,0 +1,673 @@
+"""Tests for the solve service (repro.service).
+
+Every test boots a real :class:`SolveServer` on an ephemeral port in a
+background event-loop thread and talks to it over actual TCP — the
+protocol layer, admission control, micro-batcher, single-flight and
+sessions are all exercised end-to-end.  Each server gets a *private*
+:class:`ResultCache` so tests neither pollute nor read the process-wide
+default cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.api import SolveOptions, solve as api_solve
+from repro.dynamic import DynamicInstance, IncrementalSolver
+from repro.engine import ResultCache
+from repro.engine.batch import BatchSolver
+from repro.generators import churn_trace, generate_multiproc
+from repro.service import (
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    AsyncServiceClient,
+    ErrorCode,
+    Histogram,
+    ProtocolError,
+    RemoteError,
+    ServiceClient,
+    SolveServer,
+)
+from repro.service.protocol import (
+    decode_frame,
+    encode_frame,
+    error_code_for,
+    error_response,
+    ok_response,
+    request,
+    validate_request,
+)
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+@contextmanager
+def running_server(**config):
+    """A live server on an ephemeral port, torn down afterwards."""
+    config.setdefault(
+        "engine",
+        BatchSolver(max_workers=1, executor="serial", cache=ResultCache()),
+    )
+    config.setdefault("allow_shutdown", True)
+    server = SolveServer(port=0, **config)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    try:
+        yield server, loop
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+def on_loop(loop, coro, timeout=60):
+    """Run a coroutine on the server's loop from the test thread."""
+    return asyncio.run_coroutine_threadsafe(coro, loop).result(timeout)
+
+
+def small_instances(n, *, n_tasks=32, seed0=0):
+    return [
+        generate_multiproc(
+            n_tasks, max(n_tasks // 4, 4), family="fewgmanyg",
+            g=4, dv=3, dh=5, weights="related", seed=seed0 + k,
+        )
+        for k in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# protocol layer (no sockets)
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_round_trip(self):
+        env = request("solve", 7, instance={"kind": "hypergraph"})
+        again = decode_frame(encode_frame(env))
+        assert again == env
+        assert encode_frame(env).endswith(b"\n")
+
+    def test_response_envelopes(self):
+        ok = ok_response(3, {"x": 1})
+        assert ok["ok"] and ok["id"] == 3 and ok["v"] == PROTOCOL_VERSION
+        err = error_response(3, ErrorCode.OVERLOADED, "busy")
+        assert not err["ok"]
+        assert err["error"]["code"] == "overloaded"
+
+    def test_floats_survive_bit_exactly(self):
+        values = [0.1, 1 / 3, 1e-300, 12345.6789, 2**53 - 1.0]
+        env = request("ping", 1, xs=values)
+        assert decode_frame(encode_frame(env))["xs"] == values
+
+    @pytest.mark.parametrize(
+        "line", [b"not json\n", b"[1,2]\n", b'"str"\n', b"\xff\xfe\n"]
+    )
+    def test_bad_frames_rejected(self, line):
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(line)
+        assert exc.value.code == ErrorCode.BAD_FRAME
+
+    def test_validate_request_codes(self):
+        with pytest.raises(ProtocolError) as exc:
+            validate_request({"id": 1, "op": "ping"})  # no version
+        assert exc.value.code == ErrorCode.UNSUPPORTED_VERSION
+        with pytest.raises(ProtocolError) as exc:
+            validate_request({"v": 1, "op": "ping"})  # no id
+        assert exc.value.code == ErrorCode.BAD_REQUEST
+        with pytest.raises(ProtocolError) as exc:
+            validate_request({"v": 1, "id": 1, "op": "fly"})
+        assert exc.value.code == ErrorCode.UNKNOWN_OP
+        op, rid, payload = validate_request(
+            {"v": 1, "id": "a", "op": "solve", "instance": {}}
+        )
+        assert (op, rid, payload) == ("solve", "a", {"instance": {}})
+
+    def test_exception_codes_are_stable_attributes(self):
+        """The satellite contract: wire codes come from ``.code``
+        attributes, never from string matching."""
+        from repro.api import UnknownSolverError
+        from repro.api.errors import CapabilityError
+        from repro.core.errors import (
+            GraphStructureError,
+            InfeasibleError,
+            InvalidMatchingError,
+            SolverError,
+        )
+
+        for exc, code in [
+            (UnknownSolverError("nope"), "unknown-solver"),
+            (CapabilityError("cap"), "capability"),
+            (GraphStructureError("bad"), "graph-structure"),
+            (InvalidMatchingError("bad"), "invalid-matching"),
+            (SolverError("bad"), "solver-error"),
+            (InfeasibleError("bad"), "infeasible"),
+        ]:
+            assert exc.code == code
+            assert error_code_for(exc) == code
+        assert error_code_for(ValueError("x")) == ErrorCode.BAD_REQUEST
+        assert error_code_for(RuntimeError("x")) == ErrorCode.INTERNAL
+        # the vocabulary itself is frozen
+        for code in ("overloaded", "session-not-found", "bad-frame"):
+            assert code in ERROR_CODES
+        assert "solve" in OPS and "session.mutate" in OPS
+
+    def test_histogram_quantiles(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 5 and h.total == pytest.approx(106.5)
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0  # overflow reports last bound
+        snap = h.snapshot()
+        assert snap["buckets"][-1] == [None, 1]
+
+
+# ---------------------------------------------------------------------------
+# solve round trips
+# ---------------------------------------------------------------------------
+class TestSolveRoundTrip:
+    def test_remote_solve_is_bit_identical_to_local(self):
+        instances = small_instances(4, n_tasks=48)
+        with running_server() as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                assert client.ping()["pong"] is True
+                for method in ("EVG", "SGH+ls", "auto"):
+                    for hg in instances:
+                        local = api_solve(hg, method=method)
+                        remote = client.solve(hg, method=method)
+                        assert np.array_equal(
+                            remote.assignment, local.hedge_of_task
+                        )
+                        assert remote.makespan == local.makespan
+                        # re-validates against the caller's instance
+                        m = remote.matching(hg)
+                        assert m.makespan == local.makespan
+
+    def test_equivalent_option_spellings_share_cache_entries(self):
+        (hg,) = small_instances(1)
+        cache = ResultCache()
+        engine = BatchSolver(max_workers=1, executor="serial", cache=cache)
+        with running_server(engine=engine) as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                first = client.solve(hg, method="EVG", refine=True)
+                second = client.solve(
+                    hg, options=SolveOptions(method="EVG+ls")
+                )
+        assert not first.cache_hit and second.cache_hit
+        assert np.array_equal(first.assignment, second.assignment)
+        assert cache.stats()["misses"] == 1
+
+    def test_solve_errors_carry_typed_codes(self):
+        (hg,) = small_instances(1)
+        with running_server() as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(RemoteError) as exc:
+                    client.solve(hg, method="EVH")
+                assert exc.value.code == "unknown-solver"
+                with pytest.raises(RemoteError) as exc:
+                    client.call("solve", instance={"kind": "mystery"})
+                assert exc.value.code == "bad-request"
+                with pytest.raises(RemoteError) as exc:
+                    client.call(
+                        "solve",
+                        instance={"kind": "hypergraph"},  # missing arrays
+                    )
+                assert exc.value.code == "bad-request"
+                # the connection survives every error above
+                assert client.ping()["pong"] is True
+
+
+# ---------------------------------------------------------------------------
+# micro-batching
+# ---------------------------------------------------------------------------
+class TestMicroBatching:
+    def test_pipelined_burst_coalesces_into_one_engine_batch(self):
+        """A one-write burst of compatible requests is one solve_many
+        call: the whole burst is admitted before any handler runs, so
+        the batcher's all-pending-queued signal flushes exactly once."""
+        instances = small_instances(12)
+        with running_server(max_delay_s=0.05) as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                results = client.solve_pipelined(instances, method="SGH")
+            snapshot = server.metrics.snapshot()
+        for hg, remote in zip(instances, results):
+            local = api_solve(hg, method="SGH")
+            assert np.array_equal(remote.assignment, local.hedge_of_task)
+        assert snapshot["counters"]["batched_requests"] == len(instances)
+        assert snapshot["counters"]["batches"] == 1
+        assert snapshot["batch_size"]["p99"] >= len(instances)
+
+    def test_incompatible_options_never_share_a_batch(self):
+        instances = small_instances(4)
+        with running_server(max_delay_s=0.05) as (server, loop):
+
+            async def burst():
+                client = await AsyncServiceClient.connect(port=server.port)
+                try:
+                    return await asyncio.gather(
+                        *(
+                            client.solve(
+                                hg, method=("SGH" if k % 2 else "EVG")
+                            )
+                            for k, hg in enumerate(instances)
+                        )
+                    )
+                finally:
+                    await client.close()
+
+            results = on_loop(loop, burst())
+            counters = server.metrics.snapshot()["counters"]
+        # requests with different option tokens may not coalesce: at
+        # least one flush per distinct token (timing decides whether
+        # same-token pairs coalesced, so only bound it from below)
+        assert 2 <= counters["batches"] <= len(instances)
+        assert counters["batched_requests"] == len(instances)
+        for k, (hg, remote) in enumerate(zip(instances, results)):
+            local = api_solve(hg, method="SGH" if k % 2 else "EVG")
+            assert np.array_equal(remote.assignment, local.hedge_of_task)
+
+    def test_sparse_traffic_flushes_without_waiting_the_budget(self):
+        """Adaptivity: lone requests must not idle out max_delay_s."""
+        import time
+
+        (hg,) = small_instances(1)
+        with running_server(max_delay_s=0.5) as (server, _loop):
+            with ServiceClient(port=server.port, timeout=15.0) as client:
+                # cold start spends the budget once (no arrival-rate
+                # estimate yet); every lone request after it must see a
+                # collapsed window
+                client.solve(hg, method="SGH")
+                t0 = time.perf_counter()
+                for seed in (101, 102, 103):
+                    (inst,) = small_instances(1, seed0=seed)
+                    result = client.solve(inst, method="SGH")
+                    assert result.raw["makespan"] == result.makespan
+                elapsed = time.perf_counter() - t0
+        # three sequential solves under a 0.5s budget each: waiting the
+        # budget would take >= 1.5s, the adaptive window takes ~nothing
+        assert elapsed < 0.75
+
+
+# ---------------------------------------------------------------------------
+# single-flight dedup
+# ---------------------------------------------------------------------------
+class TestSingleFlight:
+    def test_identical_concurrent_requests_share_one_solve(self):
+        (hg,) = small_instances(1, n_tasks=96)
+        cache = ResultCache()
+        engine = BatchSolver(max_workers=1, executor="serial", cache=cache)
+        n = 16
+        with running_server(engine=engine, max_delay_s=0.05) as (
+            server,
+            loop,
+        ):
+
+            async def burst():
+                client = await AsyncServiceClient.connect(port=server.port)
+                try:
+                    return await asyncio.gather(
+                        *(client.solve(hg, method="EVG") for _ in range(n))
+                    )
+                finally:
+                    await client.close()
+
+            results = on_loop(loop, burst())
+            followers = server.flight.followers
+        # exactly ONE engine solve happened for the n requests: every
+        # request either shared the flight (a follower) or, if it
+        # arrived after the flight landed, hit the cache it filled
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["entries"] == 1
+        deduped = sum(r.deduped for r in results)
+        cache_hits = sum(r.cache_hit for r in results)
+        assert deduped == followers >= 1
+        assert deduped + cache_hits == n - 1
+        local = api_solve(hg, method="EVG")
+        for remote in results:
+            assert np.array_equal(remote.assignment, local.hedge_of_task)
+
+    def test_different_seeds_do_not_dedup_for_randomized_methods(self):
+        (hg,) = small_instances(1)
+        with running_server(max_delay_s=0.05) as (server, loop):
+
+            async def burst():
+                client = await AsyncServiceClient.connect(port=server.port)
+                try:
+                    return await asyncio.gather(
+                        *(
+                            client.solve(hg, method="grasp", seed=seed)
+                            for seed in (1, 2)
+                        )
+                    )
+                finally:
+                    await client.close()
+
+            on_loop(loop, burst())
+            assert server.flight.leaders == 2
+            assert server.flight.followers == 0
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+class TestSessions:
+    def test_mutation_stream_replays_bit_equal_to_local_solver(self):
+        hg = generate_multiproc(
+            96, 24, family="fewgmanyg", g=4, dv=3, dh=5,
+            weights="related", seed=5,
+        )
+        mutations = churn_trace(hg, 25, seed=6)
+
+        # local reference: the exact same pipeline, in process
+        local_inst = DynamicInstance.from_hypergraph(hg)
+        local_solver = IncrementalSolver(local_inst, method="auto")
+        local_bottlenecks = []
+        for m in mutations:
+            local_inst.apply(m)
+            local_bottlenecks.append(local_solver.bottleneck())
+
+        with running_server() as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                session = client.open_session(hg, method="auto")
+                assert session.info["bottleneck"] == (
+                    IncrementalSolver(
+                        DynamicInstance.from_hypergraph(hg), method="auto"
+                    ).bottleneck()
+                )
+                remote_bottlenecks = [
+                    float(session.apply(m)["bottleneck"]) for m in mutations
+                ]
+                final = session.mutate([], include_assignment=True)
+                closed = session.close()
+        assert remote_bottlenecks == local_bottlenecks
+        assert final["assignment"] == {
+            str(t): c for t, c in local_solver.assignment().items()
+        }
+        assert final["loads"] == {
+            str(p): load for p, load in local_solver.loads().items()
+        }
+        assert closed["mutations"] == len(mutations)
+
+    def test_mutation_batches_are_transactional(self):
+        """A failing batch rolls back: the session never holds half a
+        request."""
+        with running_server() as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                inst = DynamicInstance()
+                p = inst.add_processor()
+                inst.add_task([((p,), 2.0)])
+                session = client.open_session(inst)
+                before = session.mutate([])
+                with pytest.raises(RemoteError) as exc:
+                    session.mutate(
+                        [
+                            {"op": "add_processor", "proc": 1},
+                            # removing the only processor hosting task 0
+                            # is infeasible -> whole batch must undo
+                            {"op": "remove_processor", "proc": 0},
+                        ]
+                    )
+                assert exc.value.code == "infeasible"
+                after = session.mutate([])
+                assert after["n_procs"] == before["n_procs"] == 1
+                assert after["bottleneck"] == before["bottleneck"]
+
+    def test_session_errors_and_limits(self):
+        (hg,) = small_instances(1)
+        with running_server(max_sessions=1) as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(RemoteError) as exc:
+                    client.call("session.mutate", session="s99", mutations=[])
+                assert exc.value.code == "session-not-found"
+                session = client.open_session(hg)
+                with pytest.raises(RemoteError) as exc:
+                    client.open_session(hg)
+                assert exc.value.code == "session-limit"
+                session.close()
+                client.open_session(hg)  # slot freed
+
+    def test_sessions_are_connection_scoped_and_reclaimed(self):
+        (hg,) = small_instances(1)
+        with running_server() as (server, _loop):
+            with ServiceClient(port=server.port) as first:
+                session = first.open_session(hg)
+                with ServiceClient(port=server.port) as second:
+                    with pytest.raises(RemoteError) as exc:
+                        second.call(
+                            "session.mutate",
+                            session=session.id,
+                            mutations=[],
+                        )
+                    assert exc.value.code == "session-not-found"
+            # first connection dropped -> its session is reclaimed
+            deadline = 50
+            while len(server.sessions) and deadline:
+                deadline -= 1
+                threading.Event().wait(0.02)
+            assert len(server.sessions) == 0
+
+
+# ---------------------------------------------------------------------------
+# admission control / load shedding
+# ---------------------------------------------------------------------------
+class TestLoadShedding:
+    def test_per_connection_inflight_cap_sheds_with_typed_error(self):
+        instances = small_instances(8, n_tasks=64)
+        with running_server(
+            per_conn_inflight=2, max_delay_s=0.5
+        ) as (server, _loop):
+            # hand-pipeline over a raw socket: one write delivers the
+            # whole burst, so admission sees all 8 before any solve can
+            # finish — the cap of 2 must shed the overrun
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=30
+            )
+            rfile = sock.makefile("rb")
+            try:
+                from repro.service import instance_to_wire
+
+                frames = [
+                    encode_frame(
+                        request(
+                            "solve",
+                            k,
+                            instance=instance_to_wire(hg),
+                            options={"method": "SGH"},
+                        )
+                    )
+                    for k, hg in enumerate(instances)
+                ]
+                sock.sendall(b"".join(frames))
+                replies = [
+                    json.loads(rfile.readline()) for _ in instances
+                ]
+            finally:
+                rfile.close()
+                sock.close()
+            counters = server.metrics.snapshot()["counters"]
+            shed = [r for r in replies if not r["ok"]]
+            served = [r for r in replies if r["ok"]]
+            assert shed and served
+            assert all(
+                e["error"]["code"] == "overloaded" for e in shed
+            )
+            assert counters["load_shed"] == len(shed)
+            # the server stays usable after shedding
+            with ServiceClient(port=server.port) as client:
+                assert client.ping()["pong"] is True
+
+    def test_ping_and_metrics_bypass_admission(self):
+        with running_server(per_conn_inflight=1, max_pending=1) as (
+            server,
+            _loop,
+        ):
+            with ServiceClient(port=server.port) as client:
+                assert client.ping()["pong"] is True
+                snap = client.metrics()
+                assert snap["pending"] == 0
+                assert "request_latency_s" in snap
+
+
+# ---------------------------------------------------------------------------
+# malformed input over the wire
+# ---------------------------------------------------------------------------
+class TestMalformedFrames:
+    def _raw(self, port: int) -> socket.socket:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        return sock
+
+    def test_garbage_line_answers_bad_frame_and_survives(self):
+        with running_server() as (server, _loop):
+            sock = self._raw(server.port)
+            rfile = sock.makefile("rb")
+            try:
+                sock.sendall(b"this is not json\n")
+                reply = json.loads(rfile.readline())
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "bad-frame"
+                assert reply["id"] is None
+                # stream stays usable: a valid ping still answers
+                sock.sendall(encode_frame(request("ping", 1)))
+                reply = json.loads(rfile.readline())
+                assert reply["ok"] is True and reply["id"] == 1
+            finally:
+                rfile.close()
+                sock.close()
+
+    def test_version_and_op_errors_over_the_wire(self):
+        with running_server() as (server, _loop):
+            sock = self._raw(server.port)
+            rfile = sock.makefile("rb")
+            try:
+                sock.sendall(
+                    json.dumps({"v": 99, "id": 1, "op": "ping"}).encode()
+                    + b"\n"
+                )
+                assert (
+                    json.loads(rfile.readline())["error"]["code"]
+                    == "unsupported-version"
+                )
+                sock.sendall(
+                    json.dumps({"v": 1, "id": 2, "op": "levitate"}).encode()
+                    + b"\n"
+                )
+                assert (
+                    json.loads(rfile.readline())["error"]["code"]
+                    == "unknown-op"
+                )
+                sock.sendall(
+                    json.dumps({"v": 1, "op": "ping"}).encode() + b"\n"
+                )
+                assert (
+                    json.loads(rfile.readline())["error"]["code"]
+                    == "bad-request"
+                )
+            finally:
+                rfile.close()
+                sock.close()
+
+    def test_shutdown_disabled_by_default(self):
+        with running_server(allow_shutdown=False) as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(RemoteError) as exc:
+                    client.shutdown()
+                assert exc.value.code == "bad-request"
+                assert client.ping()["pong"] is True
+
+
+# ---------------------------------------------------------------------------
+# pipelined sync client
+# ---------------------------------------------------------------------------
+class TestPipelinedClient:
+    def test_solve_pipelined_preserves_input_order(self):
+        instances = small_instances(10)
+        with running_server(max_delay_s=0.05) as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                results = client.solve_pipelined(instances, method="EVG")
+        for hg, remote in zip(instances, results):
+            local = api_solve(hg, method="EVG")
+            assert np.array_equal(remote.assignment, local.hedge_of_task)
+
+
+# ---------------------------------------------------------------------------
+# the CLI front-end (`semimatch serve` / `semimatch submit`)
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_serve_and_submit_round_trip(self, tmp_path, capfd):
+        import time
+
+        from repro.experiments.cli import main as cli_main
+        from repro.io import save_instance
+
+        (hg,) = small_instances(1)
+        path = tmp_path / "inst.json"
+        save_instance(hg, path)
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        server_thread = threading.Thread(
+            target=cli_main,
+            args=(["serve", "--port", str(port), "--allow-shutdown"],),
+            daemon=True,
+        )
+        server_thread.start()
+        client = None
+        for _ in range(100):
+            try:
+                client = ServiceClient(port=port)
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "semimatch serve never came up"
+        try:
+            rc = cli_main(
+                [
+                    "submit", str(path),
+                    "--method", "EVG", "--port", str(port),
+                    "--repeat", "2",
+                ]
+            )
+            assert rc == 0
+        finally:
+            client.shutdown()
+            client.close()
+        server_thread.join(10)
+        assert not server_thread.is_alive()
+        out = capfd.readouterr().out
+        assert "listening" in out
+        assert "EVG: makespan" in out
+        assert "[cache hit]" in out  # the --repeat 2 resubmission
+
+    def test_submit_reports_unreachable_server(self, tmp_path, capfd):
+        from repro.experiments.cli import main as cli_main
+        from repro.io import save_instance
+
+        (hg,) = small_instances(1)
+        path = tmp_path / "inst.json"
+        save_instance(hg, path)
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        with pytest.raises(SystemExit):
+            cli_main(["submit", str(path), "--port", str(port)])
+        assert "cannot reach" in capfd.readouterr().err
