@@ -57,8 +57,10 @@ def test_incremental_beats_from_scratch():
     per_event = 1.0 / hg.n_tasks
     assert per_event < 0.01, "stream is not low-churn"
 
-    # -- baseline: per-mutation from-scratch solves (uncached dispatch)
-    fresh = DynamicInstance.from_hypergraph(hg)
+    # -- baseline: per-mutation from-scratch solves (uncached dispatch;
+    # patching off so the kernel patcher cannot subsidize the static
+    # API's compile cost — that contrast is test_churn_compile's job)
+    fresh = DynamicInstance.from_hypergraph(hg, patching=False)
     t0 = time.perf_counter()
     scratch = solve_hypergraph(fresh.to_hypergraph(), method="auto")
     for m in trace:
@@ -97,6 +99,68 @@ def test_incremental_beats_from_scratch():
     assert speedup >= MIN_SPEEDUP, (
         f"incremental repair only {speedup:.2f}x faster than "
         f"per-mutation re-solving (need >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_churn_compile_amortizes_patching():
+    """``churn_compile`` workload: the *compile* half of the churn
+    story.  Driving the same trace through a patching instance and
+    emitting kernels after every record must beat per-mutation
+    from-scratch compilation well past 2x, while performing exactly one
+    full array build (the initial compile — everything after is a
+    patch, a delta splice, or a copy-on-write weight emit).
+
+    The hard 10%-of-full-compile marginal-cost bar lives in
+    ``bench_scaling.py`` at n>=5120, where full compiles are expensive
+    enough to time stably; this n=640 guard is the smoke-sized
+    regression tripwire for the same path.
+    """
+    from repro.kernels import clear_compile_cache
+
+    hg, trace = _workload()
+
+    # -- baseline: recompile from scratch after every mutation (twin
+    # with patching disabled so the patcher can't help it)
+    off = DynamicInstance.from_hypergraph(hg, patching=False)
+    t0 = time.perf_counter()
+    for m in trace:
+        off.apply(m)
+        clear_compile_cache()
+        off.compiled_kernels()
+    t_full = time.perf_counter() - t0
+
+    # -- patched: one patcher follows the stream, emitting per record
+    clear_compile_cache()
+    on = DynamicInstance.from_hypergraph(hg)
+    on.compiled_kernels()
+    t0 = time.perf_counter()
+    for m in trace:
+        on.apply(m)
+        on.compiled_kernels()
+    t_patch = time.perf_counter() - t0
+
+    stats = on.compile_stats()
+    speedup = t_full / max(t_patch, 1e-9)
+    print(
+        f"\nchurn_compile {len(trace)} mutations on "
+        f"{hg.n_tasks}x{hg.n_procs}: scratch={t_full:.3f}s "
+        f"patched={t_patch:.3f}s -> {speedup:.1f}x  "
+        f"({stats['emits_delta']} delta, {stats['emits_weight']} weight, "
+        f"{stats['emits_full']} full emits, "
+        f"{stats['full_builds']} full builds)"
+    )
+
+    # bit-identical terminal state (the conformance suite pins this per
+    # record; here we just anchor the endpoints agree)
+    assert on.digest() == off.digest()
+    # one full array build: the initial compile, and nothing since
+    assert stats["full_builds"] == 1, stats
+    assert stats["compactions"] == 0, stats
+    # the stream is structure-dominated, so the delta path must carry it
+    assert stats["emits_delta"] >= 0.3 * len(trace), stats
+    assert speedup >= 2.0, (
+        f"patched compilation only {speedup:.2f}x faster than "
+        f"per-mutation recompiles (need >= 2.0x)"
     )
 
 

@@ -43,6 +43,22 @@ SOLVERS = ("SGH", "VGH", "EGH", "EVG")
 GUARDED = ("VGH", "EVG")
 MIN_SPEEDUP = 3.0
 
+#: churn guard: the steady-state per-mutation cost of keeping the
+#: compilation patched (KernelPatcher) must stay at or below this
+#: fraction of a from-scratch compile at the guarded size
+MAX_PATCH_RATIO = 0.10
+CHURN_EVENTS = 60
+#: records skipped before measuring: the first emissions run while the
+#: allocator heap is still filling toward the compile-cache byte
+#: budgets; "marginal cost under churn" means the steady state after
+#: page recycling kicks in
+CHURN_WARMUP = 15
+
+#: transport guard workload: shared-memory instance shipping must beat
+#: pickling on a warm batch of large instances
+TRANSPORT_N, TRANSPORT_P = 10240, 2048
+TRANSPORT_BATCH = 4
+
 
 def _hyp_algo(name):
     """Resolve a MULTIPROC solver through the unified registry."""
@@ -102,6 +118,127 @@ def _time(fn, *args, repeats=1, **kwargs):
     return best, result
 
 
+def _compile_section(sizes, seed: int) -> list[dict]:
+    """Full-compile vs patched per-mutation compile cost under the
+    canonical churn model (:func:`repro.generators.churn_trace`).
+
+    ``full`` is what a non-patching instance pays for *one* mutation:
+    rebuild the canonical hypergraph and recompile the kernels.
+    ``patch`` is the steady-state mean over a churn stream with one
+    emission per journal record — the solve-per-mutate session
+    pattern the patcher exists for.
+    """
+    from repro.dynamic import DynamicInstance
+    from repro.generators import churn_trace
+    from repro.kernels import clear_compile_cache
+
+    rows = []
+    for n, p in sizes:
+        hg = _instance(n, p, seed)
+        off = DynamicInstance.from_hypergraph(hg, patching=False)
+        task = off.tasks()[0]
+        cfg, _pins, w0 = off.task_configs(task)[0]
+        t_full = np.inf
+        for r in range(3):
+            off.update_weight(task, cfg, w0 + r + 1.0)
+            clear_compile_cache()
+            t0 = time.perf_counter()
+            off.compiled_kernels()
+            t_full = min(t_full, time.perf_counter() - t0)
+
+        on = DynamicInstance.from_hypergraph(hg)
+        on.compiled_kernels()
+        trace = churn_trace(hg, CHURN_EVENTS, seed=seed + 1)
+        total, measured = 0.0, 0
+        for i, m in enumerate(trace):
+            on.apply(m)
+            t0 = time.perf_counter()
+            on.compiled_kernels()
+            dt = time.perf_counter() - t0
+            if i >= CHURN_WARMUP:
+                total += dt
+                measured += 1
+        t_patch = total / max(measured, 1)
+        stats = on.compile_stats()
+        rows.append(
+            {
+                "n": n,
+                "p": p,
+                "records": len(trace),
+                "measured": measured,
+                "t_full_compile_s": round(t_full, 6),
+                "t_patch_per_mutation_s": round(t_patch, 6),
+                "patch_ratio": round(t_patch / max(t_full, 1e-9), 4),
+                "emits": {
+                    k: stats[k]
+                    for k in (
+                        "full_builds",
+                        "compactions",
+                        "emits_full",
+                        "emits_weight",
+                        "emits_delta",
+                    )
+                },
+            }
+        )
+        print(
+            f"compile n={n:6d}: full={t_full * 1000:7.1f}ms "
+            f"patch/mutation={t_patch * 1000:6.2f}ms "
+            f"-> ratio {t_patch / max(t_full, 1e-9):.3f}"
+        )
+    return rows
+
+
+def _transport_section(seed: int, repeats: int) -> dict:
+    """``solve_many`` shared-memory shipping vs pickling on a warm
+    batch of ``TRANSPORT_BATCH`` instances at n=``TRANSPORT_N``.
+
+    The cold call pays pool spawn + per-worker kernel compiles on both
+    sides; the warm calls isolate the per-call transport cost (shm
+    re-sends a name, pickling re-serializes every array)."""
+    from repro.engine import BatchSolver
+
+    batch = [
+        _instance(TRANSPORT_N, TRANSPORT_P, seed + i)
+        for i in range(TRANSPORT_BATCH)
+    ]
+    out = {
+        "n": TRANSPORT_N,
+        "p": TRANSPORT_P,
+        "batch": TRANSPORT_BATCH,
+    }
+    for transport in ("pickle", "shm"):
+        eng = BatchSolver(
+            max_workers=2,
+            executor="process",
+            cache=False,
+            transport=transport,
+        )
+        try:
+            t_cold, _ = _time(eng.solve_many, batch, method="SGH")
+            t_warm = np.inf
+            for _ in range(repeats + 1):
+                t, _ = _time(eng.solve_many, batch, method="SGH")
+                t_warm = min(t_warm, t)
+            stats = eng.transport_stats()
+        finally:
+            eng.close()
+        out[transport] = {
+            "cold_s": round(t_cold, 6),
+            "warm_s": round(t_warm, 6),
+            "exports": stats.get("exports", 0),
+            "reuses": stats.get("reuses", 0),
+        }
+        print(
+            f"transport {transport:6s}: cold={t_cold:6.3f}s "
+            f"warm={t_warm:6.3f}s"
+        )
+    out["warm_speedup"] = round(
+        out["pickle"]["warm_s"] / max(out["shm"]["warm_s"], 1e-9), 3
+    )
+    return out
+
+
 def run_harness(
     *, smoke: bool = True, seed: int = 0, out: str | Path | None = None
 ) -> dict:
@@ -148,6 +285,9 @@ def run_harness(
                 f"(bottleneck {m_np.makespan:g})"
             )
 
+    compile_rows = _compile_section(sizes, seed)
+    transport = _transport_section(seed, repeats)
+
     # the speedup floor is asserted at the largest *smoke* size (the
     # size CI measures every push); the full sweep's extra sizes are
     # recorded but only guarded by the bit-equality check above
@@ -165,7 +305,10 @@ def run_harness(
         "min_speedup": MIN_SPEEDUP,
         "guarded_solvers": list(GUARDED),
         "guarded_size": {"n": n_max, "p": p_max},
+        "max_patch_ratio": MAX_PATCH_RATIO,
         "results": rows,
+        "compile": compile_rows,
+        "transport": transport,
     }
     if out:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -181,6 +324,34 @@ def run_harness(
     print(
         f"kernel speedup guard OK at n={n_max}: "
         + ", ".join(f"{s}={largest[s]:.2f}x" for s in GUARDED)
+    )
+
+    # churn-compile guard: patched compilation must stay marginal
+    for row in compile_rows:
+        if row["n"] >= 5120 and row["patch_ratio"] > MAX_PATCH_RATIO:
+            raise AssertionError(
+                f"patch-compile regression: per-mutation cost is "
+                f"{row['patch_ratio']:.3f} of a full compile at "
+                f"n={row['n']} (budget {MAX_PATCH_RATIO})"
+            )
+    print(
+        "patch-compile guard OK: "
+        + ", ".join(
+            f"n={r['n']}:{r['patch_ratio']:.3f}" for r in compile_rows
+        )
+    )
+
+    # transport guard: shm must beat pickling once the pool is warm
+    if transport["shm"]["warm_s"] >= transport["pickle"]["warm_s"]:
+        raise AssertionError(
+            f"shm transport regression: warm batch "
+            f"{transport['shm']['warm_s']:.3f}s vs pickle "
+            f"{transport['pickle']['warm_s']:.3f}s at "
+            f"n={TRANSPORT_N}"
+        )
+    print(
+        f"transport guard OK at n={TRANSPORT_N}: shm beats pickle "
+        f"{transport['warm_speedup']:.2f}x warm"
     )
     return report
 

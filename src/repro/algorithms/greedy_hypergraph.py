@@ -118,29 +118,44 @@ def _sgh_python(
 def _sgh_numpy(
     hg: TaskHypergraph, lookahead: bool, sort_by_degree: bool
 ) -> HyperSemiMatching:
+    # SGH is inherently sequential — task v's choice depends on loads
+    # committed by every earlier task — so the kernel's job is to make
+    # each step's fixed dispatch cost as small as possible (see the
+    # "sequential frontier" note in repro.kernels.ops).  Pointer arrays
+    # are pre-converted to Python lists (list[int] indexing is several
+    # times cheaper than ndarray scalar indexing), reduceat offsets are
+    # precomputed for all tasks in one vectorized pass, and the
+    # lookahead add runs in place on the fresh reduceat output.
     ci = compile_instance(hg)
     loads = np.zeros(hg.n_procs, dtype=np.float64)
-    hedge_of_task = np.empty(hg.n_tasks, dtype=np.int64)
-    tptr = hg.task_ptr
-    gptr, gpins, gw, ghedge = ci.g_ptr, ci.g_pins, ci.g_w, ci.g_hedge
+    chosen = [0] * hg.n_tasks
+    tptr = hg.task_ptr.tolist()
+    gpins, gw = ci.g_pins, ci.g_w
+    gptr = ci.g_ptr.tolist()
+    gw_list = gw.tolist()
+    ghedge = ci.g_hedge.tolist()
+    # goff[a:b] = pin offsets of task v's rows relative to its first pin
+    row_task = np.repeat(
+        np.arange(hg.n_tasks, dtype=np.int64), np.diff(hg.task_ptr)
+    )
+    goff = ci.g_ptr[:-1] - ci.g_ptr[hg.task_ptr[row_task]]
     maximum_reduceat = np.maximum.reduceat
 
-    for v in _visit_order(hg, sort_by_degree):
+    for v in _visit_order(hg, sort_by_degree).tolist():
         a, b = tptr[v], tptr[v + 1]
-        p0 = gptr[a]
         if b - a == 1:
             k = a
         else:
             keys = maximum_reduceat(
-                loads[gpins[p0 : gptr[b]]], gptr[a:b] - p0
+                loads[gpins[gptr[a] : gptr[b]]], goff[a:b]
             )
             if lookahead:
-                keys = keys + gw[a:b]
-            k = a + int(np.argmin(keys))
-        hedge_of_task[v] = ghedge[k]
-        loads[gpins[gptr[k] : gptr[k + 1]]] += gw[k]
+                keys += gw[a:b]
+            k = a + int(keys.argmin())
+        chosen[v] = ghedge[k]
+        loads[gpins[gptr[k] : gptr[k + 1]]] += gw_list[k]
 
-    return HyperSemiMatching(hg, hedge_of_task)
+    return HyperSemiMatching(hg, np.asarray(chosen, dtype=np.int64))
 
 
 # ---------------------------------------------------------------------------

@@ -44,7 +44,7 @@ class _Config:
     alive: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CompiledInstance:
     """The frozen CSR snapshot of a :class:`DynamicInstance`.
 
@@ -53,19 +53,62 @@ class CompiledInstance:
     world (handles):
 
     * ``task_handles[i]`` / ``proc_handles[u]`` — dense → handle;
-    * ``task_index`` / ``proc_index`` — handle → dense;
-    * ``hedge_origin[h]`` — the ``(task handle, config index)`` a dense
-      hyperedge was compiled from;
-    * ``hedge_index`` — the inverse of ``hedge_origin``.
+    * ``hedge_handles[h]`` / ``hedge_slots[h]`` — the task handle and
+      config index a dense hyperedge was compiled from;
+    * ``task_index`` / ``proc_index`` / ``hedge_index`` /
+      ``hedge_origin`` — dict views of the above, built lazily (the
+      patched-compilation path hands over bare arrays; most consumers
+      never need the dicts).
     """
 
     hypergraph: TaskHypergraph
     task_handles: tuple[int, ...]
     proc_handles: tuple[int, ...]
-    hedge_origin: tuple[tuple[int, int], ...]
-    task_index: dict[int, int]
-    proc_index: dict[int, int]
-    hedge_index: dict[tuple[int, int], int]
+    hedge_handles: np.ndarray
+    hedge_slots: np.ndarray
+
+    def _lazy(self, name: str, build):
+        cached = self.__dict__.get(name)
+        if cached is None:
+            cached = build()
+            object.__setattr__(self, name, cached)
+        return cached
+
+    @property
+    def hedge_origin(self) -> tuple[tuple[int, int], ...]:
+        """``(task handle, config index)`` per dense hyperedge."""
+        return self._lazy(
+            "_hedge_origin",
+            lambda: tuple(
+                zip(
+                    self.hedge_handles.tolist(),
+                    self.hedge_slots.tolist(),
+                )
+            ),
+        )
+
+    @property
+    def task_index(self) -> dict[int, int]:
+        return self._lazy(
+            "_task_index",
+            lambda: {t: d for d, t in enumerate(self.task_handles)},
+        )
+
+    @property
+    def proc_index(self) -> dict[int, int]:
+        return self._lazy(
+            "_proc_index",
+            lambda: {u: d for d, u in enumerate(self.proc_handles)},
+        )
+
+    @property
+    def hedge_index(self) -> dict[tuple[int, int], int]:
+        return self._lazy(
+            "_hedge_index",
+            lambda: {
+                origin: h for h, origin in enumerate(self.hedge_origin)
+            },
+        )
 
     def assignment_to_dense(
         self, assignment: dict[int, int]
@@ -73,18 +116,22 @@ class CompiledInstance:
         """Translate a handle-level assignment (task → config index)
         into the ``hedge_of_task`` array of the compiled hypergraph."""
         out = np.empty(len(self.task_handles), dtype=np.int64)
+        index = self.hedge_index
         for dense, handle in enumerate(self.task_handles):
-            out[dense] = self.hedge_index[(handle, assignment[handle])]
+            out[dense] = index[(handle, assignment[handle])]
         return out
 
     def assignment_from_dense(
         self, hedge_of_task: np.ndarray
     ) -> dict[int, int]:
         """Inverse of :meth:`assignment_to_dense`."""
-        return {
-            self.hedge_origin[int(h)][0]: self.hedge_origin[int(h)][1]
-            for h in hedge_of_task
-        }
+        hedges = np.asarray(hedge_of_task, dtype=np.int64)
+        return dict(
+            zip(
+                self.hedge_handles[hedges].tolist(),
+                self.hedge_slots[hedges].tolist(),
+            )
+        )
 
 
 class DynamicInstance:
@@ -103,7 +150,7 @@ class DynamicInstance:
     trace file).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, patching: bool = True) -> None:
         self._tasks: dict[int, list[_Config]] = {}
         self._procs: set[int] = set()
         self._next_task = 0
@@ -113,6 +160,20 @@ class DynamicInstance:
         self._compiled: tuple[int, CompiledInstance] | None = None
         self._digest: tuple[int, str] | None = None
         self._listeners: list = []
+        # incremental compilation (see repro.kernels.patch): the
+        # patcher trails the journal; its emitted artifact is cached by
+        # version and re-keyed by chain digests for cross-instance reuse
+        self._patching = bool(patching)
+        self._patcher = None
+        self._patcher_pos = 0
+        self._artifact = None  # (version, PatchedCompilation)
+        self._chain: list[str] | None = None
+        self._chain_base = 0
+        self._compile_stats = {
+            "full_builds": 0,
+            "compactions": 0,
+            "alias_hits": 0,
+        }
 
     # ------------------------------------------------------------------
     # change notification
@@ -143,7 +204,9 @@ class DynamicInstance:
     # construction
     # ------------------------------------------------------------------
     @staticmethod
-    def from_hypergraph(hg: TaskHypergraph) -> "DynamicInstance":
+    def from_hypergraph(
+        hg: TaskHypergraph, *, patching: bool = True
+    ) -> "DynamicInstance":
         """Seed a dynamic instance from a static one.
 
         Task ``i`` gets handle ``i``, processor ``u`` handle ``u``, and
@@ -153,7 +216,7 @@ class DynamicInstance:
         The seeding is *not* journaled: the baseline is the state a
         trace's mutations apply to.
         """
-        inst = DynamicInstance()
+        inst = DynamicInstance(patching=patching)
         inst._procs = set(range(hg.n_procs))
         inst._next_proc = hg.n_procs
         for i in range(hg.n_tasks):
@@ -444,6 +507,18 @@ class DynamicInstance:
             self._undo(m)
             undone += 1
         if undone:
+            # mutations the patcher already consumed cannot be
+            # un-applied (it keeps no undo state) — drop it and rebuild
+            # lazily; a patcher that had not caught up yet stays valid
+            if self._patcher is not None and self._patcher_pos > marker:
+                self._patcher = None
+            # chain digests past the marker describe rewritten history
+            if self._chain is not None:
+                keep = marker - self._chain_base + 1
+                if keep < 1:
+                    self._chain = None
+                elif len(self._chain) > keep:
+                    del self._chain[keep:]
             self._bump()
             self._notify()
         return undone
@@ -501,13 +576,15 @@ class DynamicInstance:
         }
 
     @staticmethod
-    def from_state(data: dict) -> "DynamicInstance":
+    def from_state(
+        data: dict, *, patching: bool = True
+    ) -> "DynamicInstance":
         """Inverse of :meth:`to_state` (journal starts empty)."""
         if data.get("kind") != "dynamic-instance":
             raise GraphStructureError(
                 f"expected kind 'dynamic-instance', got {data.get('kind')!r}"
             )
-        inst = DynamicInstance()
+        inst = DynamicInstance(patching=patching)
         inst._procs = {int(u) for u in data["procs"]}
         for t, confs in data["tasks"].items():
             parsed = [
@@ -547,16 +624,39 @@ class DynamicInstance:
         version).  Dense ids are handle-ordered and hyperedges grouped
         by task — a *canonical* form, so equal logical content always
         compiles to identical arrays (and hence an identical digest)
-        whatever the mutation history."""
+        whatever the mutation history.
+
+        With patching enabled (the default) the snapshot is produced by
+        the :class:`~repro.kernels.KernelPatcher`: one full build, then
+        bounded array edits per mutation — bit-identical to
+        :meth:`_compile_full` (the retained from-scratch oracle)."""
         if self._compiled is not None and self._compiled[0] == self._version:
             return self._compiled[1]
+        if self._patching:
+            art = self._patched()
+            compiled = CompiledInstance(
+                hypergraph=art.hypergraph,
+                task_handles=tuple(art.task_handles.tolist()),
+                proc_handles=tuple(art.proc_handles.tolist()),
+                hedge_handles=art.hedge_handles,
+                hedge_slots=art.hedge_slots,
+            )
+        else:
+            compiled = self._compile_full()
+        self._compiled = (self._version, compiled)
+        return compiled
+
+    def _compile_full(self) -> CompiledInstance:
+        """From-scratch canonical compilation (the patcher's oracle:
+        the differential tests hold :meth:`compile` to its arrays)."""
         task_handles = tuple(sorted(self._tasks))
         proc_handles = tuple(sorted(self._procs))
         proc_index = {u: d for d, u in enumerate(proc_handles)}
         hedge_task: list[int] = []
         plists: list[list[int]] = []
         weights: list[float] = []
-        hedge_origin: list[tuple[int, int]] = []
+        hedge_handles: list[int] = []
+        hedge_slots: list[int] = []
         for dense, task in enumerate(task_handles):
             for j, c in enumerate(self._tasks[task]):
                 if not c.alive:
@@ -564,7 +664,8 @@ class DynamicInstance:
                 hedge_task.append(dense)
                 plists.append([proc_index[u] for u in c.pins])
                 weights.append(c.weight)
-                hedge_origin.append((task, j))
+                hedge_handles.append(task)
+                hedge_slots.append(j)
         hg = TaskHypergraph.from_hyperedges(
             len(task_handles),
             len(proc_handles),
@@ -572,19 +673,108 @@ class DynamicInstance:
             plists,
             np.asarray(weights, dtype=np.float64),
         )
-        compiled = CompiledInstance(
+        return CompiledInstance(
             hypergraph=hg,
             task_handles=task_handles,
             proc_handles=proc_handles,
-            hedge_origin=tuple(hedge_origin),
-            task_index={t: d for d, t in enumerate(task_handles)},
-            proc_index=proc_index,
-            hedge_index={
-                origin: h for h, origin in enumerate(hedge_origin)
-            },
+            hedge_handles=np.asarray(hedge_handles, dtype=np.int64),
+            hedge_slots=np.asarray(hedge_slots, dtype=np.int64),
         )
-        self._compiled = (self._version, compiled)
-        return compiled
+
+    # -- incremental compilation ----------------------------------------
+    def _patcher_state(self):
+        return (
+            (t, [(c.pins, c.weight, c.alive) for c in confs])
+            for t, confs in sorted(self._tasks.items())
+        )
+
+    def _rebuild_patcher(self) -> None:
+        from ..kernels.patch import KernelPatcher
+
+        self._patcher = KernelPatcher(self._patcher_state(), self._procs)
+        self._patcher_pos = len(self.journal)
+        self._compile_stats["full_builds"] += 1
+
+    def _patched(self):
+        """The current :class:`~repro.kernels.PatchedCompilation`
+        (cached by version): catch the patcher up with the journal,
+        rebuild it when compaction pressure or a rollback demands, and
+        answer from the chain-alias cache when another instance already
+        emitted this exact content."""
+        if self._artifact is not None and self._artifact[0] == self._version:
+            return self._artifact[1]
+        from ..engine.cache import patched_digest
+        from ..kernels.patch import lookup_patched, register_patched
+
+        journal = self.journal
+        if self._patcher is None or self._patcher_pos > len(journal):
+            self._rebuild_patcher()
+        else:
+            for m in journal.entries_since(self._patcher_pos):
+                self._patcher.apply(m)
+            self._patcher_pos = len(journal)
+            if self._patcher.needs_compaction:
+                self._compile_stats["compactions"] += 1
+                self._rebuild_patcher()
+        # extend the chain to the journal head (chain digests depend on
+        # the base content and the mutation records alone, so this is
+        # independent of patcher state)
+        if self._chain is not None:
+            covered = self._chain_base + len(self._chain) - 1
+            for m in journal.entries_since(covered):
+                self._chain.append(patched_digest(self._chain[-1], (m,)))
+        chain_key = self._chain[-1] if self._chain else None
+        artifact = (
+            lookup_patched(chain_key) if chain_key is not None else None
+        )
+        if artifact is not None:
+            self._patcher.adopt(artifact)
+            self._compile_stats["alias_hits"] += 1
+        else:
+            artifact = self._patcher.emit()
+            if chain_key is not None:
+                register_patched(chain_key, artifact)
+        if self._chain is None:
+            # (re)anchor the chain at the current content: chain[0] is
+            # the handle-aware anchor digest, so equal baselines on
+            # other instances produce the same chain values
+            anchor = artifact.anchor_digest()
+            self._chain = [anchor]
+            self._chain_base = len(journal)
+            register_patched(anchor, artifact)
+        self._artifact = (self._version, artifact)
+        return artifact
+
+    def compiled_kernels(self):
+        """The :class:`~repro.kernels.CompiledKernels` of the current
+        state — patched, not recompiled, and pre-registered in the
+        kernel compile cache so any solver's ``compile_instance`` of
+        :meth:`to_hypergraph` is a hit."""
+        if self._patching:
+            return self._patched().kernels
+        from ..kernels import compile_instance
+
+        return compile_instance(self.to_hypergraph())
+
+    def compile_stats(self) -> dict[str, int]:
+        """Observable compile-path counters: ``full_builds`` (patcher
+        builds from state), ``compactions``, ``alias_hits`` (chain-alias
+        cache answers), plus the patcher's own emission counters."""
+        out = dict(self._compile_stats)
+        if self._patcher is not None:
+            out.update(self._patcher.stats.as_dict())
+        else:
+            out.update(
+                {
+                    "mutations": 0,
+                    "emits_full": 0,
+                    "emits_weight": 0,
+                    "emits_delta": 0,
+                    "reused": 0,
+                    "adopted": 0,
+                }
+            )
+        return out
 
     def to_hypergraph(self) -> TaskHypergraph:
         """The current state as an immutable :class:`TaskHypergraph`."""

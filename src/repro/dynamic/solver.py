@@ -149,6 +149,15 @@ class IncrementalSolver:
         """Stop tracking the instance (the solver keeps its last state)."""
         self.instance.unsubscribe(self.sync)
 
+    def compile_stats(self) -> dict[str, int]:
+        """Compile-path counters of the tracked instance (see
+        :meth:`DynamicInstance.compile_stats`).  Every full re-solve and
+        :meth:`matching` call compiles through the instance's patcher,
+        so under churn the patched/reused counters grow while
+        ``full_builds`` stays at the initial build — the service
+        surfaces these per session."""
+        return self.instance.compile_stats()
+
     # ------------------------------------------------------------------
     # accessors (all sync first)
     # ------------------------------------------------------------------

@@ -16,7 +16,13 @@ registry, so a newly registered solver is instantly usable here.
 """
 
 from .batch import BatchSolver, default_cache, default_engine, solve_many
-from .cache import CachedSolve, ResultCache, instance_digest, solve_key
+from .cache import (
+    CachedSolve,
+    ResultCache,
+    instance_digest,
+    patched_digest,
+    solve_key,
+)
 from .dispatch import (
     known_methods,
     solve_hypergraph,
@@ -32,6 +38,7 @@ __all__ = [
     "ResultCache",
     "CachedSolve",
     "instance_digest",
+    "patched_digest",
     "solve_key",
     "DEFAULT_PORTFOLIO",
     "known_methods",

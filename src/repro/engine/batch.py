@@ -42,12 +42,25 @@ from ..sched.model import SchedulingProblem
 from ..sched.schedule import Schedule
 from .cache import ResultCache, instance_digest
 from .dispatch import solve_hypergraph_outcome
+from .transport import (
+    ExportRegistry,
+    attach_instance,
+    instance_nbytes,
+    is_descriptor,
+    transport_available,
+)
 
 __all__ = ["BatchSolver", "solve_many", "default_engine", "default_cache"]
 
 Instance = Union[SchedulingProblem, TaskHypergraph]
 
 _EXECUTORS = ("process", "thread", "serial")
+_TRANSPORTS = ("auto", "shm", "pickle")
+
+#: Below this payload size a pickle through the pipe beats the shm
+#: round-trip (segment syscall + memcpy + descriptor pickle), so
+#: ``transport="auto"`` keeps small instances on the pickle path.
+_SHM_MIN_BYTES = 64 * 1024
 
 #: Cache shared by every engine created with ``cache=True`` (including
 #: the default engine behind :func:`repro.sched.solve`).
@@ -72,17 +85,21 @@ def _outcome_meta(outcome: Outcome, wall_s: float) -> dict:
 
 
 def _solve_chunk(
-    hgs: list[TaskHypergraph], options: SolveOptions
+    items: list, options: SolveOptions
 ) -> list[tuple]:
     """Worker payload: solve a chunk, return (assignment, meta) pairs.
 
-    Returning bare ``hedge_of_task`` arrays plus a small provenance dict
-    (rather than full matchings) keeps the result pickle small; the
-    parent rebuilds — and thereby re-validates — each
+    Each item is either a pickled :class:`TaskHypergraph` or a
+    shared-memory descriptor (see :mod:`repro.engine.transport`); the
+    two may be mixed within one chunk, since the transport decision is
+    per-instance.  Returning bare ``hedge_of_task`` arrays plus a small
+    provenance dict (rather than full matchings) keeps the result
+    pickle small; the parent rebuilds — and thereby re-validates — each
     :class:`HyperSemiMatching` against its own copy of the instance.
     """
     out = []
-    for hg in hgs:
+    for item in items:
+        hg = attach_instance(item) if is_descriptor(item) else item
         t0 = time.perf_counter()
         outcome = solve_hypergraph_outcome(hg, options)
         wall = time.perf_counter() - t0
@@ -121,6 +138,24 @@ class BatchSolver:
         ``options`` is passed).  ``portfolio`` (a tuple of method
         expressions/names, optionally suffixed ``"+ls"``) switches an
         instance to portfolio mode, as does ``method="portfolio"``.
+    transport:
+        How instances travel to process-pool workers.  ``"auto"``
+        (default) ships instances at or above ``shm_min_bytes`` through
+        :mod:`multiprocessing.shared_memory` (digest-keyed segments,
+        attached as zero-copy views in the worker) and pickles the
+        rest; ``"shm"`` forces shared memory regardless of size;
+        ``"pickle"`` disables it.  Shared memory silently degrades to
+        pickling per instance when the platform lacks it or segment
+        creation fails, so results never depend on the transport.
+        Thread and serial executors always hand over references.
+    shm_min_bytes:
+        The ``"auto"`` size floor (default 64 KiB): below it a pickle
+        beats the segment syscall + memcpy.
+    idle_timeout:
+        Seconds of inactivity after which the worker pool is shut down
+        (``None`` — keep it until :meth:`close`).  The next pooled call
+        transparently respawns it; shared-memory segments survive the
+        pool, only worker-side attachments are re-established.
     """
 
     def __init__(
@@ -137,15 +172,24 @@ class BatchSolver:
         seed: int = 0,
         time_budget: float | None = None,
         backend: str = "numpy",
+        transport: str = "auto",
+        shm_min_bytes: int = _SHM_MIN_BYTES,
+        idle_timeout: float | None = None,
     ):
         if executor not in _EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; choose from {_EXECUTORS}"
             )
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {_TRANSPORTS}"
+            )
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
         self.max_workers = (
             max_workers if max_workers is not None else (os.cpu_count() or 1)
         )
@@ -172,11 +216,17 @@ class BatchSolver:
                 backend=backend,
             )
         )
+        self.transport = transport
+        self.shm_min_bytes = int(shm_min_bytes)
+        self.idle_timeout = idle_timeout
+        self._exports = ExportRegistry()
         self._pool = None  # lazily created, reused across solve_many calls
         # one engine may serve several threads (the service's batcher
         # flushes different option-groups concurrently): guard the
         # lazy pool creation so a race cannot leak a second executor
         self._pool_lock = threading.Lock()
+        self._busy = 0  # pooled calls in flight (idle-timeout gate)
+        self._idle_timer: threading.Timer | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -187,9 +237,16 @@ class BatchSolver:
             return instance, instance.to_hypergraph()
         if isinstance(instance, TaskHypergraph):
             return None, instance
+        if hasattr(instance, "to_hypergraph"):
+            # DynamicInstance (duck-typed: repro.dynamic imports the
+            # engine's cache, so naming the class here would cycle).
+            # Under patching its snapshot arrives pre-compiled — the
+            # kernels are already registered under the hypergraph's
+            # digest, so the solve pays no compile.
+            return None, instance.to_hypergraph()
         raise TypeError(
-            "instances must be SchedulingProblem or TaskHypergraph, "
-            f"got {type(instance).__name__}"
+            "instances must be SchedulingProblem, TaskHypergraph or "
+            f"DynamicInstance, got {type(instance).__name__}"
         )
 
     def _options(
@@ -342,6 +399,36 @@ class BatchSolver:
             ),
         )
 
+    def _payloads(
+        self,
+        pairs: list[tuple[SchedulingProblem | None, TaskHypergraph]],
+        pending: list[int],
+    ) -> tuple[dict[int, dict], list[str]]:
+        """Shared-memory descriptors for the pending instances that
+        should travel by segment, plus the digests whose export refs the
+        caller must release when the batch lands."""
+        use_shm = (
+            self.executor == "process"
+            and self.transport != "pickle"
+            and transport_available()
+        )
+        payloads: dict[int, dict] = {}
+        held: list[str] = []
+        if not use_shm:
+            return payloads, held
+        for i in pending:
+            hg = pairs[i][1]
+            if (
+                self.transport == "auto"
+                and instance_nbytes(hg) < self.shm_min_bytes
+            ):
+                continue
+            descriptor = self._exports.export(hg, instance_digest(hg))
+            if descriptor is not None:  # None: creation failed → pickle
+                payloads[i] = descriptor
+                held.append(descriptor["digest"])
+        return payloads, held
+
     def _solve_pooled(
         self,
         pairs: list[tuple[SchedulingProblem | None, TaskHypergraph]],
@@ -354,25 +441,42 @@ class BatchSolver:
         chunks = [
             pending[lo : lo + chunk] for lo in range(0, len(pending), chunk)
         ]
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_solve_chunk, [pairs[i][1] for i in idxs], opts)
-            for idxs in chunks
-        ]
-        for idxs, future in zip(chunks, futures):
-            for i, (assignment, meta) in zip(idxs, future.result()):
-                results[i] = self._result(pairs[i][1], assignment, meta, opts)
+        payloads, held = self._payloads(pairs, pending)
+        pool = self._acquire_pool()
+        try:
+            futures = [
+                pool.submit(
+                    _solve_chunk,
+                    [payloads.get(i, pairs[i][1]) for i in idxs],
+                    opts,
+                )
+                for idxs in chunks
+            ]
+            for idxs, future in zip(chunks, futures):
+                for i, (assignment, meta) in zip(idxs, future.result()):
+                    results[i] = self._result(
+                        pairs[i][1], assignment, meta, opts
+                    )
+        finally:
+            for digest in held:
+                self._exports.release(digest)
+            self._release_pool()
 
-    def _ensure_pool(self):
-        """The solver's executor, created once and reused.
+    def _acquire_pool(self):
+        """The solver's executor, created once and reused while warm.
 
         Spawning a process pool costs more than solving a small batch, so
         callers like the experiment runner — one ``solve_many`` per
-        (spec, algorithm) — must not pay it every call.  The pool is shut
-        down by :meth:`close` (or interpreter exit via
-        :mod:`concurrent.futures`' own atexit hook).
+        (spec, algorithm) — must not pay it every call.  The pool lives
+        until :meth:`close`, ``idle_timeout`` seconds of inactivity, or
+        interpreter exit (:mod:`concurrent.futures`' own atexit hook).
+        Balance with :meth:`_release_pool`.
         """
         with self._pool_lock:
+            self._busy += 1
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
             if self._pool is None:
                 pool_cls = (
                     ProcessPoolExecutor if self.executor == "process"
@@ -381,13 +485,61 @@ class BatchSolver:
                 self._pool = pool_cls(max_workers=self.max_workers)
             return self._pool
 
+    def _release_pool(self) -> None:
+        with self._pool_lock:
+            self._busy -= 1
+            if (
+                self._busy == 0
+                and self.idle_timeout is not None
+                and self._pool is not None
+            ):
+                timer = threading.Timer(self.idle_timeout, self._idle_close)
+                timer.daemon = True
+                self._idle_timer = timer
+                timer.start()
+
+    def _idle_close(self) -> None:
+        """Idle-timeout expiry: drop the pool if still quiescent.
+
+        Segments in the export registry are kept — they are the cheap
+        half of warmth, bounded by its LRU, and the respawned pool's
+        workers re-attach to them by name.
+        """
+        with self._pool_lock:
+            if self._busy:
+                return
+            pool, self._pool = self._pool, None
+            self._idle_timer = None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live process-pool workers (empty for thread or
+        serial executors, or while no pool exists).  Lets tests and
+        diagnostics observe pool reuse across calls."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None or self.executor != "process":
+            return []
+        return sorted(getattr(pool, "_processes", None) or ())
+
+    def transport_stats(self) -> dict[str, int]:
+        """Export-registry counters: ``segments`` currently mapped,
+        ``exports`` created, ``reuses`` served, ``failures``."""
+        return self._exports.stats()
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; solver stays usable —
-        the next pooled call recreates it)."""
+        """Shut down the worker pool and unlink every shared-memory
+        segment (idempotent; solver stays usable — the next pooled call
+        recreates both)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
         if pool is not None:
             pool.shutdown()
+        self._exports.close()
 
     def __enter__(self) -> "BatchSolver":
         return self
@@ -399,6 +551,54 @@ class BatchSolver:
 def _checked(result: SolveResult | None) -> SolveResult:
     assert result is not None  # every index is cached or pending
     return result
+
+
+#: Warm engines behind the module-level :func:`solve_many`, keyed by
+#: pool-shaping parameters.  Each keeps its executor alive for
+#: ``_WARM_IDLE_TIMEOUT`` seconds between calls, so back-to-back batch
+#: calls (the experiment runner's per-(spec, algorithm) loop) reuse
+#: workers — and their warmed kernel caches — instead of paying a pool
+#: spawn per call.
+_SHARED_ENGINES: dict[tuple, BatchSolver] = {}
+_SHARED_LOCK = threading.Lock()
+_WARM_IDLE_TIMEOUT = 60.0
+
+
+def _shared_engine(
+    executor: str,
+    max_workers: int | None,
+    chunk_size: int | None,
+    cache: ResultCache | bool | None,
+    transport: str,
+    shm_min_bytes: int,
+) -> BatchSolver | None:
+    """The warm engine for this pool shape, or ``None`` when the call
+    needs a private one (a caller-owned :class:`ResultCache` must not
+    leak into other calls through a shared engine)."""
+    if not (cache is True or cache is False or cache is None):
+        return None
+    key = (
+        executor,
+        max_workers,
+        chunk_size,
+        bool(cache),
+        transport,
+        shm_min_bytes,
+    )
+    with _SHARED_LOCK:
+        engine = _SHARED_ENGINES.get(key)
+        if engine is None:
+            engine = BatchSolver(
+                max_workers=max_workers,
+                executor=executor,
+                chunk_size=chunk_size,
+                cache=bool(cache),
+                transport=transport,
+                shm_min_bytes=shm_min_bytes,
+                idle_timeout=_WARM_IDLE_TIMEOUT,
+            )
+            _SHARED_ENGINES[key] = engine
+        return engine
 
 
 def solve_many(
@@ -415,8 +615,17 @@ def solve_many(
     executor: str = "process",
     chunk_size: int | None = None,
     cache: ResultCache | bool | None = True,
+    transport: str = "auto",
+    shm_min_bytes: int = _SHM_MIN_BYTES,
 ) -> list[SolveResult]:
     """One-call batch solve (see :class:`BatchSolver` for the knobs).
+
+    Calls with plain-flag caching (``cache=True/False/None``) are served
+    by a process-wide warm engine per pool shape: its worker pool stays
+    up for 60 s of inactivity, so consecutive calls reuse the same
+    workers (and their warmed caches) instead of respawning a pool each
+    time.  Passing your own :class:`ResultCache` opts out — such calls
+    get a private engine torn down on return.
 
     >>> from repro import SchedulingProblem, solve_many
     >>> probs = []
@@ -427,22 +636,34 @@ def solve_many(
     >>> [s.makespan for s in solve_many(probs, max_workers=1)]
     [1.0, 2.0, 2.0]
     """
+    opts = (
+        options
+        if options is not None
+        else SolveOptions(
+            method=method,
+            refine=refine,
+            portfolio=tuple(portfolio) if portfolio is not None else None,
+            seed=seed,
+            time_budget=time_budget,
+            backend=backend,
+        )
+    )
+    engine = _shared_engine(
+        executor, max_workers, chunk_size, cache, transport, shm_min_bytes
+    )
+    if engine is not None:
+        return engine.solve_many(instances, options=opts)
     with BatchSolver(
         max_workers=max_workers,
         executor=executor,
         chunk_size=chunk_size,
         cache=cache,
-        options=options,
-        method=method,
-        refine=refine,
-        portfolio=portfolio,
-        seed=seed,
-        time_budget=time_budget,
-        backend=backend,
-    ) as engine:
+        transport=transport,
+        shm_min_bytes=shm_min_bytes,
+    ) as private:
         # the pool is private to this call, so shut it down eagerly
         # rather than leaving it to the interpreter-exit hooks
-        return engine.solve_many(instances)
+        return private.solve_many(instances, options=opts)
 
 
 def default_engine() -> BatchSolver:

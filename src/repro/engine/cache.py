@@ -24,16 +24,23 @@ sweeps (``experiments.sweep``, the Table I–III harness) never recompute.
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 from collections import OrderedDict
-from typing import NamedTuple, Sequence
+from typing import Iterable, NamedTuple, Sequence
 
 import numpy as np
 
 from ..api.options import SolveOptions
 from ..core.hypergraph import TaskHypergraph
 
-__all__ = ["CachedSolve", "ResultCache", "instance_digest", "solve_key"]
+__all__ = [
+    "CachedSolve",
+    "ResultCache",
+    "instance_digest",
+    "patched_digest",
+    "solve_key",
+]
 
 
 def instance_digest(hg: TaskHypergraph) -> str:
@@ -53,9 +60,11 @@ def instance_digest(hg: TaskHypergraph) -> str:
     h = hashlib.sha256()
     h.update(f"{hg.n_tasks}|{hg.n_procs}|{hg.n_hedges}|".encode())
     for arr in (hg.hedge_task, hg.hedge_ptr, hg.hedge_procs):
-        h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+        # hash the buffer directly — tobytes() would copy megabytes per
+        # call, and this sits on the patcher's per-mutation emit path
+        h.update(np.ascontiguousarray(arr, dtype=np.int64).data)
         h.update(b"#")
-    h.update(np.ascontiguousarray(hg.hedge_w, dtype=np.float64).tobytes())
+    h.update(np.ascontiguousarray(hg.hedge_w, dtype=np.float64).data)
     digest = h.hexdigest()
     # freeze the hashed arrays so the memoized digest cannot go stale
     # through in-place mutation (which would also desynchronize the
@@ -64,6 +73,34 @@ def instance_digest(hg: TaskHypergraph) -> str:
         arr.setflags(write=False)
     object.__setattr__(hg, "_digest_cache", digest)
     return digest
+
+
+def patched_digest(base_digest: str, mutations: Iterable) -> str:
+    """Digest of *base content + a mutation suffix* — the patch-aware
+    compile-cache key.
+
+    Equal base digests plus equal mutation records imply equal patched
+    content, so the kernel layer's chain-alias cache
+    (:mod:`repro.kernels.patch`) can answer a patched compilation
+    without emitting it — e.g. two sessions replaying one trace over
+    the same baseline.  Mutations hash through their canonical wire
+    form (``Mutation.to_dict()``; plain dicts pass through), sorted-key
+    JSON, so replay and in-process histories agree.
+
+    This digest names a *derivation*, not content alone — never use it
+    to key the :class:`ResultCache`, whose equal-content-equal-key
+    guarantee requires pure content digests.
+    """
+    h = hashlib.sha256()
+    h.update(b"patch:")
+    h.update(base_digest.encode())
+    for m in mutations:
+        rec = m.to_dict() if hasattr(m, "to_dict") else m
+        h.update(b"|")
+        h.update(
+            json.dumps(rec, sort_keys=True, separators=(",", ":")).encode()
+        )
+    return h.hexdigest()
 
 
 def solve_key(

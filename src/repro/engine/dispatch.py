@@ -83,8 +83,13 @@ def solve_hypergraph_outcome(
     """Evaluate normalized ``options`` on ``hg``, with provenance.
 
     The engine's unit of work: returns the matching plus the winning
-    solver and per-entry portfolio statistics.
+    solver and per-entry portfolio statistics.  Accepts a
+    :class:`~repro.dynamic.DynamicInstance` in place of a hypergraph
+    (duck-typed to avoid an import cycle): its patched compilation is
+    taken as the snapshot, so the solve itself compiles nothing.
     """
+    if not isinstance(hg, TaskHypergraph) and hasattr(hg, "to_hypergraph"):
+        hg = hg.to_hypergraph()
     options = options.normalized()
     return evaluate(hg, options.method, _context(options))
 

@@ -1,0 +1,313 @@
+"""Zero-copy instance transport for the process pool.
+
+Pickling a :class:`~repro.core.hypergraph.TaskHypergraph` into a pool
+worker serialises every CSR array through a pipe — twice (submit and
+the executor's internal bookkeeping) — which at n=10240 costs more
+than the dispatch it feeds.  This module ships instances through
+:mod:`multiprocessing.shared_memory` instead: the parent copies the
+eight defining arrays into one digest-keyed segment, workers map the
+segment and rebuild the instance as *views* — no serialisation, no
+copy, and repeated batches over the same instance reuse both the
+segment and the worker's cached attachment (so its kernel compilation
+survives across batches, too).
+
+Lifecycle:
+
+* parent side — an :class:`ExportRegistry` per
+  :class:`~repro.engine.BatchSolver`: segments are created once per
+  content digest, refcounted while batches are in flight, LRU-evicted
+  when idle and unlinked on engine close (a finalizer covers engines
+  that are never closed);
+* worker side — a bounded attachment cache keyed by segment name.
+  Attachments stay mapped until evicted (views may sit in the worker's
+  kernel compile cache, so eviction also purges that digest via
+  :func:`repro.kernels.evict_compiled` before unmapping).
+
+Everything degrades to pickling: platforms without POSIX shared memory,
+segment-creation failure (``/dev/shm`` full), or instances below the
+size floor where a memcpy + syscall loses to a small pickle.  The
+fallback is per-instance, so one oversized batch member never forces a
+whole call onto one path.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any
+
+import numpy as np
+
+from ..core.hypergraph import TaskHypergraph
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    from multiprocessing import shared_memory as _shm
+
+    _HAVE_SHM = True
+except ImportError:  # pragma: no cover
+    _shm = None
+    _HAVE_SHM = False
+
+__all__ = [
+    "ExportRegistry",
+    "attach_instance",
+    "transport_available",
+    "instance_nbytes",
+]
+
+#: The arrays that define an instance, in segment layout order.
+#: ``hedge_w`` is float64, everything else int64 — all 8-byte dtypes,
+#: so natural alignment holds at any offset the layout produces.
+_FIELDS = (
+    "hedge_task",
+    "hedge_ptr",
+    "hedge_procs",
+    "hedge_w",
+    "task_ptr",
+    "task_hedges",
+    "proc_ptr",
+    "proc_hedges",
+)
+
+
+def transport_available() -> bool:
+    """Whether shared-memory transport can be used at all here."""
+    return _HAVE_SHM
+
+
+def instance_nbytes(hg: TaskHypergraph) -> int:
+    """Payload size of ``hg`` under shared-memory transport."""
+    return sum(getattr(hg, f).nbytes for f in _FIELDS)
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without tracking it.
+
+    An attaching process must not own the segment's lifetime — the
+    creator unlinks it — but ``SharedMemory(name=...)`` registers with
+    the resource tracker anyway on Python < 3.13.  Under ``spawn`` that
+    makes worker exit unlink a segment the parent still serves; under
+    ``fork`` (shared tracker process) a later unregister collides with
+    the parent's own and the tracker logs KeyError tracebacks.
+    Python 3.13+ has ``track=False`` for exactly this; earlier versions
+    get it by suppressing ``register`` around the attach (chunk
+    execution is single-threaded per worker, so the swap is safe).
+    """
+    try:
+        return _shm.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return _shm.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class _Export:
+    """One parent-side segment: the shm handle plus bookkeeping."""
+
+    __slots__ = ("shm", "descriptor", "refs")
+
+    def __init__(self, shm, descriptor: dict[str, Any]):
+        self.shm = shm
+        self.descriptor = descriptor
+        self.refs = 0
+
+
+def _close_all(segments: dict) -> None:
+    for export in segments.values():
+        try:
+            export.shm.close()
+            export.shm.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+    segments.clear()
+
+
+class ExportRegistry:
+    """Digest-keyed, refcounted shared-memory exports (parent side)."""
+
+    def __init__(self, max_segments: int = 64):
+        if max_segments < 1:
+            raise ValueError("max_segments must be at least 1")
+        self.max_segments = int(max_segments)
+        self._segments: dict[str, _Export] = {}
+        self._order: list[str] = []  # LRU, oldest first
+        self._lock = threading.Lock()
+        self.exports = 0
+        self.reuses = 0
+        self.failures = 0
+        # unlink segments even if the engine is never close()d —
+        # /dev/shm outlives the process otherwise
+        self._finalizer = weakref.finalize(
+            self, _close_all, self._segments
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    # ------------------------------------------------------------------
+    def export(self, hg: TaskHypergraph, digest: str) -> dict | None:
+        """A wire descriptor for ``hg``, creating (or reusing) its
+        segment and taking one reference; ``None`` when shared memory
+        is unavailable or creation failed (caller falls back to
+        pickling).  Balance with :meth:`release`."""
+        if not _HAVE_SHM:
+            return None
+        with self._lock:
+            export = self._segments.get(digest)
+            if export is not None:
+                export.refs += 1
+                self.reuses += 1
+                self._order.remove(digest)
+                self._order.append(digest)
+                return export.descriptor
+        try:
+            export = self._create(hg, digest)
+        except Exception:
+            with self._lock:
+                self.failures += 1
+            return None
+        with self._lock:
+            raced = self._segments.get(digest)
+            if raced is not None:  # another thread won: keep theirs
+                raced.refs += 1
+                self.reuses += 1
+                try:
+                    export.shm.close()
+                    export.shm.unlink()
+                except Exception:  # pragma: no cover
+                    pass
+                return raced.descriptor
+            export.refs = 1
+            self._segments[digest] = export
+            self._order.append(digest)
+            self.exports += 1
+            self._evict_idle_locked()
+            return export.descriptor
+
+    def _create(self, hg: TaskHypergraph, digest: str) -> _Export:
+        layout = []
+        offset = 0
+        for f in _FIELDS:
+            arr = getattr(hg, f)
+            layout.append((f, offset, int(arr.shape[0])))
+            offset += arr.nbytes
+        shm = _shm.SharedMemory(create=True, size=max(offset, 1))
+        for (f, off, n) in layout:
+            arr = getattr(hg, f)
+            dst = np.ndarray(
+                (n,), dtype=arr.dtype, buffer=shm.buf, offset=off
+            )
+            np.copyto(dst, arr, casting="no")
+        descriptor = {
+            "__shm__": shm.name,
+            "digest": digest,
+            "counts": (hg.n_tasks, hg.n_procs, hg.n_hedges),
+            "layout": layout,
+        }
+        return _Export(shm, descriptor)
+
+    def release(self, digest: str) -> None:
+        """Drop one reference taken by :meth:`export`."""
+        with self._lock:
+            export = self._segments.get(digest)
+            if export is not None and export.refs > 0:
+                export.refs -= 1
+            self._evict_idle_locked()
+
+    def _evict_idle_locked(self) -> None:
+        while len(self._segments) > self.max_segments:
+            victim = next(
+                (
+                    d
+                    for d in self._order
+                    if self._segments[d].refs == 0
+                ),
+                None,
+            )
+            if victim is None:  # everything in flight: over-cap is fine
+                break
+            export = self._segments.pop(victim)
+            self._order.remove(victim)
+            try:
+                export.shm.close()
+                export.shm.unlink()
+            except Exception:  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        """Unlink every segment (engine shutdown)."""
+        with self._lock:
+            _close_all(self._segments)
+            self._order.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "segments": len(self._segments),
+                "exports": self.exports,
+                "reuses": self.reuses,
+                "failures": self.failures,
+            }
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+#: name -> (shm, hypergraph); bounded, insertion-ordered (LRU via
+#: re-insert).  Worker processes are single-threaded with respect to
+#: chunk execution, so no lock.
+_ATTACHED: dict[str, tuple[Any, TaskHypergraph]] = {}
+_ATTACH_MAX = 32
+
+
+def is_descriptor(obj) -> bool:
+    """Whether a chunk item is a shared-memory descriptor."""
+    return isinstance(obj, dict) and "__shm__" in obj
+
+
+def attach_instance(descriptor: dict) -> TaskHypergraph:
+    """Rebuild the instance a descriptor names, as views over its
+    shared segment (worker side; attachments are cached by name)."""
+    name = descriptor["__shm__"]
+    hit = _ATTACHED.pop(name, None)
+    if hit is not None:
+        _ATTACHED[name] = hit  # re-insert: LRU refresh
+        return hit[1]
+    shm = _attach_segment(name)
+    n_tasks, n_procs, n_hedges = descriptor["counts"]
+    arrays = {}
+    for f, off, n in descriptor["layout"]:
+        dtype = np.float64 if f == "hedge_w" else np.int64
+        arr = np.ndarray((n,), dtype=dtype, buffer=shm.buf, offset=off)
+        arr.setflags(write=False)
+        arrays[f] = arr
+    hg = TaskHypergraph(
+        n_tasks=int(n_tasks),
+        n_procs=int(n_procs),
+        n_hedges=int(n_hedges),
+        **arrays,
+    )
+    # the parent computed the digest already; pre-seeding the memo
+    # makes the worker's cache lookups free *and* keeps the frozen-
+    # arrays invariant instance_digest would have established
+    object.__setattr__(hg, "_digest_cache", descriptor["digest"])
+    _ATTACHED[name] = (shm, hg)
+    while len(_ATTACHED) > _ATTACH_MAX:
+        victim_name, (vshm, vhg) = next(iter(_ATTACHED.items()))
+        del _ATTACHED[victim_name]
+        # a cached kernel compilation may hold views into the segment;
+        # purge it before unmapping so nothing dangles
+        from ..kernels import evict_compiled
+
+        evict_compiled(getattr(vhg, "_digest_cache", ""))
+        try:
+            vshm.close()
+        except Exception:  # pragma: no cover
+            pass
+    return hg

@@ -32,7 +32,15 @@ from .compiled import (
     compile_cache_stats,
     compile_instance,
     clear_compile_cache,
+    evict_compiled,
     flat_ranges,
+    register_compiled,
+)
+from .patch import (
+    KernelPatcher,
+    PatchedCompilation,
+    clear_patch_cache,
+    patch_cache_stats,
 )
 from .ops import (
     batch_lex_signs,
@@ -45,9 +53,15 @@ from .ops import (
 __all__ = [
     "KNOWN_BACKENDS",
     "CompiledKernels",
+    "KernelPatcher",
+    "PatchedCompilation",
     "compile_instance",
+    "register_compiled",
+    "evict_compiled",
     "clear_compile_cache",
+    "clear_patch_cache",
     "compile_cache_stats",
+    "patch_cache_stats",
     "flat_ranges",
     "loads_from_assignment",
     "lex_best_row",

@@ -32,6 +32,8 @@ from ..core.hypergraph import TaskHypergraph
 __all__ = [
     "CompiledKernels",
     "compile_instance",
+    "register_compiled",
+    "evict_compiled",
     "clear_compile_cache",
     "compile_cache_stats",
     "flat_ranges",
@@ -160,7 +162,19 @@ def _compile(hg: TaskHypergraph, digest: str) -> CompiledKernels:
     task_of_pin = np.repeat(task_of_g, g_size)
     total_pins = g_pins.shape[0]
     if total_pins:
-        order = np.lexsort((g_pins, task_of_pin))
+        # stable sort by (task, pin): folding both keys plus the
+        # original index into one int64 makes every key unique, so a
+        # plain sort reproduces the lexsort permutation (ties keep
+        # input order) at a fraction of its cost
+        span = hg.n_tasks * hg.n_procs
+        if span and span < (2**62) // total_pins:
+            combined = (
+                task_of_pin * hg.n_procs + g_pins
+            ) * total_pins + np.arange(total_pins, dtype=np.int64)
+            combined.sort()
+            order = combined % total_pins
+        else:
+            order = np.lexsort((g_pins, task_of_pin))
         sp = g_pins[order]
         stt = task_of_pin[order]
         new = np.ones(total_pins, dtype=bool)
@@ -203,8 +217,58 @@ def _compile(hg: TaskHypergraph, digest: str) -> CompiledKernels:
 _CACHE: OrderedDict[str, CompiledKernels] = OrderedDict()
 _CACHE_LOCK = threading.Lock()
 _CACHE_MAXSIZE = 128
+#: Byte budget alongside the entry count: a mutation stream emits a
+#: fresh multi-MB compilation per journal record, and retaining every
+#: dead version until 128 of them pile up costs hundreds of MB and —
+#: worse — forces the allocator to fault fresh pages for every emission
+#: instead of recycling the freed ones (measured: struct patches
+#: degrade ~6x once the heap stops turning over).  The budget keeps
+#: churn workloads in the recycling regime; distinct *live* instances
+#: small enough to fit are unaffected.
+_CACHE_MAXBYTES = 192 * 1024 * 1024
+_CACHE_SIZES: dict[str, int] = {}
+_CACHE_NBYTES = 0
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
+
+
+def compiled_nbytes(compiled: CompiledKernels) -> int:
+    """Approximate heap footprint of one compilation: the sum over its
+    unique array buffers (kernel fields share storage with the
+    hypergraph's CSR arrays and with prior copy-on-write emissions, so
+    buffers are deduplicated by identity)."""
+    hg = compiled.hypergraph
+    seen: set[int] = set()
+    total = 0
+    for arr in (
+        compiled.g_hedge, compiled.g_w, compiled.g_size, compiled.g_ptr,
+        compiled.g_pins, compiled.g_pin_w, compiled.g_pin_row,
+        compiled.g_pin_pos, compiled.u_ptr, compiled.u_procs,
+        compiled.hedge_gpos, hg.hedge_task, hg.hedge_ptr, hg.hedge_procs,
+        hg.hedge_w, hg.task_ptr, hg.task_hedges, hg.proc_ptr,
+        hg.proc_hedges,
+    ):
+        buf = arr.base if arr.base is not None else arr
+        if id(buf) not in seen:
+            seen.add(id(buf))
+            total += getattr(buf, "nbytes", arr.nbytes)
+    return total
+
+
+def _cache_insert_locked(digest: str, compiled: CompiledKernels) -> None:
+    global _CACHE_NBYTES
+    old = _CACHE_SIZES.pop(digest, 0)
+    _CACHE_NBYTES -= old
+    size = compiled_nbytes(compiled)
+    _CACHE[digest] = compiled
+    _CACHE.move_to_end(digest)
+    _CACHE_SIZES[digest] = size
+    _CACHE_NBYTES += size
+    while len(_CACHE) > 1 and (
+        len(_CACHE) > _CACHE_MAXSIZE or _CACHE_NBYTES > _CACHE_MAXBYTES
+    ):
+        victim, _ = _CACHE.popitem(last=False)
+        _CACHE_NBYTES -= _CACHE_SIZES.pop(victim, 0)
 
 
 def compile_instance(
@@ -231,27 +295,52 @@ def compile_instance(
         _CACHE_MISSES += 1
     compiled = _compile(hg, digest)
     with _CACHE_LOCK:
-        _CACHE[digest] = compiled
-        _CACHE.move_to_end(digest)
-        while len(_CACHE) > _CACHE_MAXSIZE:
-            _CACHE.popitem(last=False)
+        _cache_insert_locked(digest, compiled)
     return compiled
+
+
+def register_compiled(compiled: CompiledKernels) -> None:
+    """Publish an externally built compilation (the
+    :class:`~repro.kernels.patch.KernelPatcher` emission path) under
+    its content digest, so a later :func:`compile_instance` of equal
+    content is a hit instead of a recompile."""
+    with _CACHE_LOCK:
+        _cache_insert_locked(compiled.digest, compiled)
+
+
+def evict_compiled(digest: str) -> None:
+    """Drop one cached compilation (no-op when absent).  The engine's
+    shared-memory transport calls this when a worker unmaps a segment
+    whose arrays a cached compilation may view."""
+    global _CACHE_NBYTES
+    with _CACHE_LOCK:
+        if _CACHE.pop(digest, None) is not None:
+            _CACHE_NBYTES -= _CACHE_SIZES.pop(digest, 0)
 
 
 def clear_compile_cache() -> None:
     """Drop every cached compilation (test support)."""
-    global _CACHE_HITS, _CACHE_MISSES
+    global _CACHE_HITS, _CACHE_MISSES, _CACHE_NBYTES
     with _CACHE_LOCK:
         _CACHE.clear()
+        _CACHE_SIZES.clear()
+        _CACHE_NBYTES = 0
         _CACHE_HITS = 0
         _CACHE_MISSES = 0
+    # the chain-alias cache of the patcher holds compilations too:
+    # clearing one but not the other would let "cleared" artifacts
+    # resurface through the alias path in tests
+    from .patch import clear_patch_cache
+
+    clear_patch_cache()
 
 
 def compile_cache_stats() -> dict[str, int]:
-    """``{"entries", "hits", "misses"}`` snapshot."""
+    """``{"entries", "bytes", "hits", "misses"}`` snapshot."""
     with _CACHE_LOCK:
         return {
             "entries": len(_CACHE),
+            "bytes": _CACHE_NBYTES,
             "hits": _CACHE_HITS,
             "misses": _CACHE_MISSES,
         }

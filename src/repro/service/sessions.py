@@ -60,6 +60,11 @@ class Session:
             "bottleneck": self.solver.bottleneck(),
             "mutations": self.mutations,
             "repair": self.solver.stats.as_dict(),
+            # the instance's patched-compilation counters: a session's
+            # Nth snapshot is array edits on the first, never a fresh
+            # compile — ``full_builds`` staying at 1 across a mutation
+            # stream is the observable form of that guarantee
+            "compile": self.instance.compile_stats(),
         }
 
 

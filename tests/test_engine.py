@@ -374,7 +374,8 @@ class TestCacheConcurrency:
 
         def grab() -> None:
             barrier.wait()
-            pools.append(engine._ensure_pool())
+            pools.append(engine._acquire_pool())
+            engine._release_pool()
 
         threads = [threading.Thread(target=grab) for _ in range(8)]
         for t in threads:
@@ -421,3 +422,144 @@ class TestCacheConcurrency:
         assert not errors
         for tid in range(4):
             assert results[tid] == expected
+
+
+class TestTransportAndWarmPool:
+    """Shared-memory transport and the warm worker pool."""
+
+    @pytest.fixture
+    def batch(self):
+        from repro.generators import generate_multiproc
+
+        return [generate_multiproc(120, 8, g=4, seed=s) for s in range(5)]
+
+    def test_shm_results_match_pickle_transport(self, batch):
+        with BatchSolver(
+            max_workers=2, executor="process", cache=False, transport="shm"
+        ) as shm_engine, BatchSolver(
+            max_workers=2, executor="process", cache=False, transport="pickle"
+        ) as pickle_engine:
+            a = shm_engine.solve_many(batch)
+            stats = shm_engine.transport_stats()
+            b = pickle_engine.solve_many(batch)
+        assert stats["exports"] == len(batch)
+        assert stats["failures"] == 0
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(
+                ra.matching.hedge_of_task, rb.matching.hedge_of_task
+            )
+
+    def test_worker_pids_stable_across_calls(self, batch):
+        """Satellite regression: consecutive solve_many calls on one
+        engine reuse the same worker processes (the pool is warm)."""
+        engine = BatchSolver(max_workers=2, executor="process", cache=False)
+        try:
+            engine.solve_many(batch)
+            pids1 = engine.worker_pids()
+            engine.solve_many(batch)
+            pids2 = engine.worker_pids()
+        finally:
+            engine.close()
+        assert pids1 and pids1 == pids2
+
+    def test_segment_reuse_and_close_unlinks(self, batch):
+        from repro.engine.transport import transport_available
+
+        if not transport_available():  # pragma: no cover
+            pytest.skip("no shared memory on this platform")
+        engine = BatchSolver(
+            max_workers=2, executor="process", cache=False, transport="shm"
+        )
+        try:
+            engine.solve_many(batch)
+            engine.solve_many(batch)
+            stats = engine.transport_stats()
+            assert stats["exports"] == len(batch)  # second call reused
+            assert stats["reuses"] >= len(batch)
+            assert stats["segments"] == len(batch)
+        finally:
+            engine.close()
+        assert engine.transport_stats()["segments"] == 0
+
+    def test_auto_transport_keeps_small_instances_on_pickle(self, batch):
+        engine = BatchSolver(
+            max_workers=2, executor="process", cache=False,
+            transport="auto", shm_min_bytes=1 << 30,
+        )
+        try:
+            engine.solve_many(batch)
+            assert engine.transport_stats()["exports"] == 0
+        finally:
+            engine.close()
+
+    def test_idle_timeout_recycles_pool(self, batch):
+        import time as _time
+
+        engine = BatchSolver(
+            max_workers=2, executor="process", cache=False, idle_timeout=0.3
+        )
+        try:
+            engine.solve_many(batch)
+            assert engine.worker_pids()
+            deadline = _time.monotonic() + 5.0
+            while engine.worker_pids() and _time.monotonic() < deadline:
+                _time.sleep(0.05)
+            assert engine.worker_pids() == []  # pool dropped while idle
+            r = engine.solve_many(batch)  # and transparently respawned
+            assert len(r) == len(batch)
+            assert engine.worker_pids()
+        finally:
+            engine.close()
+
+    def test_module_level_solve_many_shares_warm_engine(self, batch):
+        from repro.engine import batch as batch_mod
+
+        r1 = solve_many(
+            batch[:3], executor="process", max_workers=2, cache=False
+        )
+        key_count = len(batch_mod._SHARED_ENGINES)
+        r2 = solve_many(
+            batch[:3], executor="process", max_workers=2, cache=False
+        )
+        assert len(batch_mod._SHARED_ENGINES) == key_count  # same engine
+        engine = next(
+            e
+            for k, e in batch_mod._SHARED_ENGINES.items()
+            if k[0] == "process" and k[1] == 2
+        )
+        assert engine.worker_pids()  # still warm after both calls
+        for ra, rb in zip(r1, r2):
+            np.testing.assert_array_equal(
+                ra.matching.hedge_of_task, rb.matching.hedge_of_task
+            )
+
+    def test_custom_cache_gets_private_engine(self, batch):
+        from repro.engine import batch as batch_mod
+
+        before = dict(batch_mod._SHARED_ENGINES)
+        cache = ResultCache(maxsize=8)
+        solve_many(batch[:2], max_workers=1, cache=cache)
+        assert cache.stats()["misses"] == 2  # the private cache was used
+        assert batch_mod._SHARED_ENGINES == before  # nothing registered
+
+    def test_dynamic_instance_is_accepted(self, batch):
+        from repro.dynamic import DynamicInstance
+
+        inst = DynamicInstance.from_hypergraph(batch[0])
+        # the instance compiles to a *canonical* hypergraph (hyperedges
+        # grouped by task), so compare against that form — indices into
+        # the original generator ordering would not line up
+        direct = solve_many([inst.to_hypergraph()], max_workers=1, cache=False)
+        via_dyn = solve_many([inst], max_workers=1, cache=False)
+        np.testing.assert_array_equal(
+            direct[0].matching.hedge_of_task,
+            via_dyn[0].matching.hedge_of_task,
+        )
+        baseline = solve_many([batch[0]], max_workers=1, cache=False)
+        assert via_dyn[0].makespan == baseline[0].makespan
+
+    def test_bad_transport_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSolver(transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            BatchSolver(idle_timeout=0.0)

@@ -444,6 +444,54 @@ class TestSessions:
                 session.close()
                 client.open_session(hg)  # slot freed
 
+    def test_session_streams_never_recompile(self):
+        """The session threads its patched compilation across mutates:
+        after the open's single full build, every later solve works off
+        bounded array edits.  ``describe()`` exposes the counters on the
+        wire; an in-process manager drives per-step solves to show
+        emissions accumulate while ``full_builds`` stays at 1."""
+        hg = generate_multiproc(
+            48, 12, g=4, dv=3, dh=4, weights="related", seed=9
+        )
+        inst = DynamicInstance.from_hypergraph(hg)
+        task = inst.tasks()[0]
+        idx, _pins, w = inst.task_configs(task)[0]
+        records = [
+            {
+                "op": "update_weight",
+                "task": task,
+                "config": idx,
+                "weight": w + 1.0 + k,
+            }
+            for k in range(8)
+        ]
+        with running_server() as (server, _loop):
+            with ServiceClient(port=server.port) as client:
+                session = client.open_session(hg, method="auto")
+                out = None
+                for record in records:
+                    out = session.apply(record)
+                assert out["compile"]["full_builds"] == 1
+                assert out["compile"]["compactions"] == 0
+                session.close()
+
+        # per-step matchings compile through the patcher: N solves,
+        # N patched emissions, still exactly one full build
+        from repro.service import instance_to_wire
+        from repro.service.sessions import SessionManager
+
+        manager = SessionManager()
+        info = manager.open({"baseline": instance_to_wire(hg)}, owner=1)
+        session = manager._get(info["session"], 1)
+        for record in records:
+            manager.mutate(info["session"], [record], owner=1)
+            session.solver.matching()
+        stats = session.describe()["compile"]
+        assert stats["full_builds"] == 1
+        assert stats["compactions"] == 0
+        assert stats["emits_weight"] >= len(records)
+        manager.close(info["session"], owner=1)
+
     def test_sessions_are_connection_scoped_and_reclaimed(self):
         (hg,) = small_instances(1)
         with running_server() as (server, _loop):
