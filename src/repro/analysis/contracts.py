@@ -1,0 +1,313 @@
+"""contract-sync: registry flags, error codes, and API.md stay in sync.
+
+Three contracts, each previously guarded by hand-maintained runtime
+tests (or nothing at all):
+
+* **solver registration flags** — ``@register_solver`` declares
+  ``needs_seed``/``needs_backend``; ``SolverSpec.run`` only forwards
+  ``seed=``/``backend=`` when the flag is set.  A solver that takes a
+  ``backend`` parameter without declaring ``needs_backend`` silently
+  ignores backend selection; declaring a flag without the parameter
+  raises ``TypeError`` at dispatch.  The AST check verifies
+  registrations whose target ``def`` is in the same module; the
+  project check closes the gap with ``inspect.signature`` over the
+  *live* registry.  ``"randomized"`` capability implies
+  ``needs_seed`` — a randomized solver the engine cannot reseed is
+  unreproducible.
+* **service error codes** — every exception that can cross the
+  service boundary must map to a wire code in
+  ``protocol.error_code_for``: either a ``.code``-carrying repo
+  exception or ValueError/TypeError/KeyError (→ ``bad-request``).
+  Raising anything else from a service module sends the client an
+  opaque ``internal``.
+* **API.md tables** — the solver-registry table (between the
+  ``registry-table`` markers) must equal
+  ``get_registry().table_markdown()``, and the error-code table
+  (between the ``error-codes`` markers) must list exactly
+  ``protocol.ERROR_CODES``.  This replaces the runtime sync test that
+  previously lived in ``tests/test_solver_api.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from .core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    const_names,
+    dotted_name,
+)
+
+#: exceptions that carry a ``.code`` (or map to ``bad-request``) —
+#: the only types a service module may raise toward the wire
+CODED_EXCEPTIONS = frozenset({
+    # repro.core.errors / repro.api.errors — all carry .code
+    "SemiMatchError", "GraphStructureError", "InvalidMatchingError",
+    "SolverError", "InfeasibleError", "UnknownSolverError",
+    "CapabilityError",
+    # repro.service.protocol
+    "ServiceError", "ProtocolError", "OverloadedError",
+    "SessionNotFoundError", "SessionLimitError", "RemoteError",
+    # mapped to "bad-request" by error_code_for
+    "ValueError", "TypeError", "KeyError",
+})
+
+#: backticked codes in the first cell of a ``| codes | meaning |`` row
+_CODE = re.compile(r"`([a-z-]+)`")
+
+
+def _register_calls(tree: ast.Module):
+    """Yield ``(call, target_def_or_None)`` for every registration.
+
+    Handles both the decorator form (``@register_solver(...)`` on a
+    local ``def``) and the call form (``register_solver(...)(fn)``),
+    resolving ``fn`` to a same-module ``def`` when possible.
+    """
+    local_defs = {
+        n.name: n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+    def is_register(call: ast.AST) -> bool:
+        return (
+            isinstance(call, ast.Call)
+            and (dotted_name(call.func) or "").split(".")[-1]
+            == "register_solver"
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for dec in node.decorator_list:
+                if is_register(dec):
+                    yield dec, node
+        elif isinstance(node, ast.Call) and is_register(node.func):
+            target = None
+            if len(node.args) == 1 and isinstance(node.args[0], ast.Name):
+                target = local_defs.get(node.args[0].id)
+            yield node.func, target
+
+
+def _params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    a = fn.args
+    return {
+        p.arg
+        for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)
+    }
+
+
+class ContractSyncRule(Rule):
+    id = "contract-sync"
+    title = "registry/protocol/API.md contract drift"
+
+    # -- module checks ------------------------------------------------
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_registrations(ctx))
+        if "service" in ctx.domains:
+            findings.extend(self._check_raises(ctx))
+        return findings
+
+    def _check_registrations(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for call, target in _register_calls(ctx.tree):
+            kwargs = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+            name_node = kwargs.get("name")
+            solver = (
+                name_node.value
+                if isinstance(name_node, ast.Constant)
+                else (target.name if target else "<unknown>")
+            )
+            caps = (
+                const_names(kwargs["capabilities"])
+                if "capabilities" in kwargs
+                else set()
+            )
+
+            def flag(key: str) -> bool | None:
+                node = kwargs.get(key)
+                if node is None:
+                    return False
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, bool
+                ):
+                    return node.value
+                return None  # dynamic — can't judge statically
+
+            needs_seed = flag("needs_seed")
+            needs_backend = flag("needs_backend")
+            if "randomized" in caps and needs_seed is False:
+                yield ctx.finding(
+                    call, self.id,
+                    f"solver {solver!r} declares the 'randomized' "
+                    f"capability but not needs_seed=True — the engine "
+                    f"cannot reseed it, so runs are unreproducible",
+                )
+            if target is not None:
+                params = _params(target)
+                for key, value, param in (
+                    ("needs_seed", needs_seed, "seed"),
+                    ("needs_backend", needs_backend, "backend"),
+                ):
+                    if value is True and param not in params:
+                        yield ctx.finding(
+                            call, self.id,
+                            f"solver {solver!r} declares {key}=True but "
+                            f"{target.name}() has no {param!r} parameter — "
+                            f"dispatch will raise TypeError",
+                        )
+                    elif value is False and param in params:
+                        yield ctx.finding(
+                            call, self.id,
+                            f"solver {solver!r} takes a {param!r} parameter "
+                            f"but does not declare {key}=True — dispatch "
+                            f"never forwards it, so it silently defaults",
+                        )
+
+    def _check_raises(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = dotted_name(exc)
+            if name is None:  # re-raise of a bound variable — out of scope
+                continue
+            leaf = name.split(".")[-1]
+            if leaf not in CODED_EXCEPTIONS:
+                yield ctx.finding(
+                    node, self.id,
+                    f"raise {leaf} in a service module: "
+                    f"protocol.error_code_for maps it to the opaque "
+                    f"'internal' code — raise a .code-carrying repro "
+                    f"exception (or ValueError for bad input) instead",
+                )
+
+    # -- project checks -----------------------------------------------
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        api_md = ctx.read("API.md")
+        if api_md is None:
+            return
+        try:
+            from repro.api.registry import get_registry
+            from repro.service import protocol
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            yield ctx.finding(
+                "API.md", 1, self.id,
+                f"cannot import live registry/protocol for doc sync: {exc}",
+            )
+            return
+
+        yield from self._check_table(
+            ctx, api_md, "registry-table",
+            expected=get_registry().table_markdown().strip().splitlines(),
+            what="solver registry table",
+            regen="regenerate with get_registry().table_markdown()",
+        )
+        yield from self._check_error_codes(ctx, api_md, protocol)
+        yield from self._check_signatures(ctx, get_registry())
+
+    @staticmethod
+    def _block(api_md: str, name: str):
+        """Lines between ``<!-- name:begin ... -->`` / ``:end`` markers.
+
+        The begin marker may carry trailing commentary
+        (``(generated; do not edit by hand)``), so match by prefix.
+        """
+        lines = api_md.splitlines()
+        i = j = None
+        for k, ln in enumerate(lines):
+            s = ln.strip()
+            if s.startswith(f"<!-- {name}:begin"):
+                i = k
+            elif s.startswith(f"<!-- {name}:end"):
+                j = k
+        if i is None or j is None or j <= i:
+            return None, 1
+        return lines[i + 1:j], i + 1
+
+    def _check_table(self, ctx, api_md, marker, *, expected, what, regen):
+        block, line = self._block(api_md, marker)
+        if block is None:
+            yield ctx.finding(
+                "API.md", 1, self.id,
+                f"missing <!-- {marker}:begin/end --> markers — cannot "
+                f"verify the {what}",
+            )
+            return
+        actual = [ln.rstrip() for ln in block if ln.strip()]
+        wanted = [ln.rstrip() for ln in expected if ln.strip()]
+        if actual != wanted:
+            yield ctx.finding(
+                "API.md", line, self.id,
+                f"{what} is out of sync with the live code — {regen}",
+            )
+
+    def _check_error_codes(self, ctx, api_md, protocol):
+        block, line = self._block(api_md, "error-codes")
+        if block is None:
+            yield ctx.finding(
+                "API.md", 1, self.id,
+                "missing <!-- error-codes:begin/end --> markers — cannot "
+                "verify the error-code table",
+            )
+            return
+        documented = set()
+        for ln in block:
+            ln = ln.strip()
+            if not ln.startswith("|"):
+                continue
+            cells = [c for c in ln.split("|") if c.strip()]
+            if cells:
+                documented.update(_CODE.findall(cells[0]))
+        live = set(protocol.ERROR_CODES)
+        for code in sorted(live - documented):
+            yield ctx.finding(
+                "API.md", line, self.id,
+                f"error code '{code}' (protocol.ERROR_CODES) is missing "
+                f"from the API.md error-code table",
+            )
+        for code in sorted(documented - live):
+            yield ctx.finding(
+                "API.md", line, self.id,
+                f"API.md documents error code '{code}' which is not in "
+                f"protocol.ERROR_CODES",
+            )
+
+    def _check_signatures(self, ctx, registry):
+        import inspect
+
+        for spec in registry:
+            try:
+                params = set(inspect.signature(spec.fn).parameters)
+            except (TypeError, ValueError):  # pragma: no cover - builtins
+                continue
+            rel = "src/repro/api/solvers.py"
+            checks = (
+                ("needs_seed", spec.needs_seed, "seed"),
+                ("needs_backend", spec.needs_backend, "backend"),
+            )
+            for key, value, param in checks:
+                if value and param not in params and "kwargs" not in params:
+                    yield ctx.finding(
+                        rel, 1, self.id,
+                        f"registered solver {spec.name!r}: {key}=True but "
+                        f"{param!r} not in signature {sorted(params)}",
+                    )
+                elif not value and param in params:
+                    yield ctx.finding(
+                        rel, 1, self.id,
+                        f"registered solver {spec.name!r}: accepts "
+                        f"{param!r} but {key} is False — dispatch never "
+                        f"forwards it",
+                    )
+            if "randomized" in spec.capabilities and not spec.needs_seed:
+                yield ctx.finding(
+                    rel, 1, self.id,
+                    f"registered solver {spec.name!r}: 'randomized' "
+                    f"capability without needs_seed",
+                )

@@ -1,0 +1,58 @@
+"""deprecation: internal code must not call its own shims.
+
+PR 4 kept the legacy ``repro.algorithms`` registry names alive as
+warn-once shims for external callers.  Internal ``src/repro`` code
+calling them would (a) fire a DeprecationWarning that pyproject's
+filterwarnings escalates to an error under pytest, and (b) quietly
+re-entrench an API scheduled for removal.  This rule flags any import
+or attribute access of a shim name outside the modules that define
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .core import Finding, ModuleContext, Rule
+
+#: names served by module-level ``__getattr__`` warn-once shims
+SHIM_NAMES = frozenset({
+    "BIPARTITE_ALGORITHMS",
+    "HYPERGRAPH_ALGORITHMS",
+    "get_bipartite_algorithm",
+    "get_hypergraph_algorithm",
+})
+
+#: the modules that *define* the shims (string mentions there are the
+#: implementation, not usage)
+_DEFINING = (
+    "algorithms/__init__.py",
+    "algorithms/registry.py",
+    "api/_deprecation.py",
+)
+
+
+class DeprecationRule(Rule):
+    id = "deprecation"
+    title = "internal use of warn-once deprecation shims"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.rel.replace("\\", "/").endswith(_DEFINING):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in SHIM_NAMES:
+                        yield ctx.finding(
+                            node, self.id,
+                            f"imports deprecated shim {alias.name!r} — use "
+                            f"the repro.api registry "
+                            f"(get_solver/get_registry) instead",
+                        )
+            elif isinstance(node, ast.Attribute) and node.attr in SHIM_NAMES:
+                yield ctx.finding(
+                    node, self.id,
+                    f"references deprecated shim {node.attr!r} through its "
+                    f"module — use the repro.api registry instead",
+                )

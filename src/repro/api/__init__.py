@@ -27,6 +27,8 @@ the same content-addressed result cache as batch runs and sweeps.
 
 from __future__ import annotations
 
+from typing import Any
+
 from . import solvers as _builtin_solvers  # noqa: F401  (registers)
 from .errors import CapabilityError, UnknownSolverError
 from .methods import (
@@ -71,7 +73,9 @@ __all__ = [
 ]
 
 
-def solve(instance, *, options: SolveOptions | None = None, **kwargs):
+def solve(
+    instance: Any, *, options: SolveOptions | None = None, **kwargs: Any
+) -> SolveResult:
     """Solve one instance through the default engine.
 
     ``instance`` is a :class:`~repro.sched.model.SchedulingProblem` or a

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -163,7 +164,7 @@ class MethodExpr:
 
     # canonical-form equality: the parsed and constructed spellings of a
     # method are the same method
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, MethodExpr):
             return NotImplemented
         return self.canonical() == other.canonical()
@@ -175,7 +176,7 @@ class MethodExpr:
         return f"{type(self).__name__}({self.canonical()!r})"
 
 
-def _coerce(entry) -> "MethodExpr":
+def _coerce(entry: "MethodExpr | str") -> "MethodExpr":
     if isinstance(entry, MethodExpr):
         return entry
     if isinstance(entry, str):
@@ -194,22 +195,24 @@ class Solver(MethodExpr):
     def __init__(self, name: str):
         object.__setattr__(self, "name", str(name))
 
-    def __setattr__(self, *_):  # pragma: no cover - defensive
+    def __setattr__(self, *_: object) -> None:  # pragma: no cover - defensive
         raise AttributeError("method expressions are immutable")
 
-    def __reduce__(self):  # __slots__ + immutability: rebuild via ctor
+    def __reduce__(self) -> tuple:  # __slots__ + immutability: rebuild via ctor
         return (Solver, (self.name,))
 
     def canonical(self) -> str:
         return self.name
 
-    def resolved(self, registry, *, context="method"):
+    def resolved(
+        self, registry: SolverRegistry, *, context: str = "method"
+    ) -> "MethodExpr":
         return Solver(registry.resolve(self.name, context=context).name)
 
-    def is_randomized(self, registry) -> bool:
+    def is_randomized(self, registry: SolverRegistry) -> bool:
         return registry.resolve(self.name).is_randomized
 
-    def _evaluate(self, hg, ctx):
+    def _evaluate(self, hg: TaskHypergraph, ctx: EvalContext) -> Outcome:
         spec = ctx.registry.resolve(self.name)
         return Outcome(
             _run_spec(hg, spec, ctx),
@@ -224,25 +227,27 @@ class Refine(MethodExpr):
 
     __slots__ = ("inner",)
 
-    def __init__(self, inner):
+    def __init__(self, inner: "MethodExpr | str") -> None:
         object.__setattr__(self, "inner", _coerce(inner))
 
-    def __setattr__(self, *_):  # pragma: no cover - defensive
+    def __setattr__(self, *_: object) -> None:  # pragma: no cover - defensive
         raise AttributeError("method expressions are immutable")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (Refine, (self.inner,))
 
     def canonical(self) -> str:
         return f"{self.inner.canonical()}+ls"
 
-    def resolved(self, registry, *, context="method"):
+    def resolved(
+        self, registry: SolverRegistry, *, context: str = "method"
+    ) -> "MethodExpr":
         return Refine(self.inner.resolved(registry, context=context))
 
-    def is_randomized(self, registry) -> bool:
+    def is_randomized(self, registry: SolverRegistry) -> bool:
         return self.inner.is_randomized(registry)
 
-    def _evaluate(self, hg, ctx):
+    def _evaluate(self, hg: TaskHypergraph, ctx: EvalContext) -> Outcome:
         from ..algorithms.local_search import local_search
 
         outcome = self.inner._evaluate(hg, ctx)
@@ -267,7 +272,7 @@ class Portfolio(MethodExpr):
 
     __slots__ = ("entries",)
 
-    def __init__(self, *entries):
+    def __init__(self, *entries: Any) -> None:
         if len(entries) == 1 and not isinstance(
             entries[0], (str, MethodExpr)
         ):
@@ -276,10 +281,10 @@ class Portfolio(MethodExpr):
             self, "entries", tuple(_coerce(e) for e in entries)
         )
 
-    def __setattr__(self, *_):  # pragma: no cover - defensive
+    def __setattr__(self, *_: object) -> None:  # pragma: no cover - defensive
         raise AttributeError("method expressions are immutable")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (Portfolio, tuple(self.entries))
 
     def canonical(self) -> str:
@@ -291,7 +296,9 @@ class Portfolio(MethodExpr):
             + ")"
         )
 
-    def resolved(self, registry, *, context="method"):
+    def resolved(
+        self, registry: SolverRegistry, *, context: str = "method"
+    ) -> "MethodExpr":
         return Portfolio(
             *(
                 e.resolved(registry, context="portfolio entry")
@@ -299,10 +306,10 @@ class Portfolio(MethodExpr):
             )
         )
 
-    def is_randomized(self, registry) -> bool:
+    def is_randomized(self, registry: SolverRegistry) -> bool:
         return any(e.is_randomized(registry) for e in self.entries)
 
-    def _evaluate(self, hg, ctx):
+    def _evaluate(self, hg: TaskHypergraph, ctx: EvalContext) -> Outcome:
         if not self.entries:
             raise ValueError("portfolio needs at least one algorithm")
         best: Outcome | None = None
@@ -327,6 +334,7 @@ class Portfolio(MethodExpr):
                 and time.perf_counter() >= ctx.deadline
             ):
                 break  # time budget spent; keep the best so far
+        assert best is not None  # entries is non-empty
         return Outcome(
             best.matching, winner=best_entry, entries=tuple(stats)
         )
@@ -339,21 +347,23 @@ class Auto(MethodExpr):
 
     __slots__ = ()
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (Auto, ())
 
     def canonical(self) -> str:
         return "auto"
 
-    def resolved(self, registry, *, context="method"):
+    def resolved(
+        self, registry: SolverRegistry, *, context: str = "method"
+    ) -> "MethodExpr":
         return self
 
-    def is_randomized(self, registry) -> bool:
+    def is_randomized(self, registry: SolverRegistry) -> bool:
         return any(
             s.is_randomized for s in registry if s.recommended_for
         )
 
-    def _evaluate(self, hg, ctx):
+    def _evaluate(self, hg: TaskHypergraph, ctx: EvalContext) -> Outcome:
         spec = ctx.registry.recommended(_instance_trait(hg))
         return Outcome(
             _run_spec(hg, spec, ctx),
@@ -371,7 +381,8 @@ AUTO = Auto()
 # the string parser
 # ---------------------------------------------------------------------------
 def _split_top_level(body: str) -> list[str]:
-    parts, depth, start = [], 0, 0
+    parts: list[str] = []
+    depth, start = 0, 0
     for i, ch in enumerate(body):
         if ch == "(":
             depth += 1
@@ -384,7 +395,7 @@ def _split_top_level(body: str) -> list[str]:
     return parts
 
 
-def parse_method(text: str) -> MethodExpr:
+def parse_method(text: "str | MethodExpr") -> MethodExpr:
     """Parse a method string into its expression.
 
     Accepted forms (composable)::

@@ -25,7 +25,7 @@ registry, so registering a solver makes it instantly usable in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from .errors import UnknownSolverError
 
@@ -74,7 +74,9 @@ class SolverSpec:
             self, "recommended_for", frozenset(self.recommended_for)
         )
 
-    def run(self, instance, *, seed: int = 0, backend: str = "numpy"):
+    def run(
+        self, instance: Any, *, seed: int = 0, backend: str = "numpy"
+    ) -> Any:
         """Invoke the solver, passing ``seed``/``backend`` only when the
         registration declared it wants them."""
         kwargs = {}

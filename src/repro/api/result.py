@@ -16,6 +16,9 @@ keep reading naturally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 from ..core.semimatching import HyperSemiMatching
 from .methods import EntryStat
@@ -74,7 +77,7 @@ class SolveResult:
         return self.matching.makespan
 
     @property
-    def hedge_of_task(self):
+    def hedge_of_task(self) -> np.ndarray:
         """The chosen hyperedge (configuration) per task."""
         return self.matching.hedge_of_task
 
@@ -108,7 +111,7 @@ class SolveResult:
         return 1.0 if self.makespan == 0 else float("inf")
 
     # -- ergonomics ------------------------------------------------------
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # delegate the remaining surface of Schedule / HyperSemiMatching
         # (allocation(), timeline(), gantt(), loads(), alloc(), ...)
         if name.startswith("_"):

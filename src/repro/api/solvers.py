@@ -18,6 +18,8 @@ The metadata *is* the dispatch policy:
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..algorithms.exact_unit import exact_singleproc_unit
 from ..algorithms.exhaustive import exhaustive_multiproc
 from ..algorithms.greedy_bipartite import (
@@ -92,7 +94,7 @@ register_solver(
     needs_backend=True,
     summary="Multi-start randomized greedy + local search (GRASP).",
 )
-def _grasp(hg, *, seed: int = 0, backend: str = "numpy"):
+def _grasp(hg: Any, *, seed: int = 0, backend: str = "numpy") -> Any:
     from ..algorithms.grasp import grasp
 
     return grasp(hg, seed=seed, backend=backend).matching
@@ -114,7 +116,7 @@ register_solver(
     capabilities={"weighted", "dynamic"},
     summary="Incremental engine (repro.dynamic): repairs across mutations.",
 )
-def _incremental(hg):
+def _incremental(hg: Any) -> Any:
     from ..dynamic.solver import incremental_solve
 
     return incremental_solve(hg)
@@ -158,7 +160,7 @@ register_solver(
     recommended_for={"bipartite:unit"},
     summary="Exact polynomial algorithm for SINGLEPROC-UNIT (Sec. IV-A).",
 )
-def _exact(graph):
+def _exact(graph: Any) -> Any:
     return exact_singleproc_unit(graph).matching
 
 

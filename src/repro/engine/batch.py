@@ -675,8 +675,11 @@ def default_engine() -> BatchSolver:
     sweeps all feed one another.
     """
     global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = BatchSolver(
-            max_workers=1, executor="serial", cache=True
-        )
-    return _DEFAULT_ENGINE
+    # same double-create shape as the PR 5 _ensure_pool race: two first
+    # callers on different threads must not each publish an engine
+    with _SHARED_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = BatchSolver(
+                max_workers=1, executor="serial", cache=True
+            )
+        return _DEFAULT_ENGINE

@@ -221,7 +221,21 @@ def main(argv: list[str] | None = None) -> int:
         help="also solve with METHOD and show the load balance",
     )
 
+    ck = subs.add_parser(
+        "check",
+        help="run the repro static analyzer (lock-guard, async-blocking, "
+             "kernel-purity, contract-sync, deprecation)",
+    )
+    from ..analysis import add_check_arguments
+
+    add_check_arguments(ck)
+
     args = parser.parse_args(argv)
+
+    if args.command == "check":
+        from ..analysis import run_from_args
+
+        return run_from_args(args)
 
     if args.command == "list":
         for s in TABLE1_SPECS:

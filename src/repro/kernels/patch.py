@@ -99,9 +99,9 @@ class PatchedCompilation:
                 self.hedge_slots,
             ):
                 h.update(b"#")
-                h.update(
-                    np.ascontiguousarray(arr, dtype=np.int64).tobytes()
-                )
+                # hash the buffer view directly — tobytes() would copy
+                # every handle table on each anchor computation
+                h.update(np.ascontiguousarray(arr, dtype=np.int64).data)
             cached = h.hexdigest()
             object.__setattr__(self, "_anchor", cached)
         return cached
@@ -339,6 +339,12 @@ class KernelPatcher:
                 self._dirty = _WEIGHTS
             if self._dirty == _WEIGHTS:
                 self._weight_rows.append(r)
+            else:
+                # a weight edit landing *after* a structural op voids the
+                # delta-splice baseline too: _delta_add/_delta_remove
+                # splice the last emission's arrays, which predate this
+                # edit (the mirror image of the _WEIGHTS guard below)
+                self._pending = None
             return
         if op in ("add_task", "remove_task"):
             # delta emission needs the last emission as its baseline:

@@ -221,6 +221,7 @@ class ServiceClient:
     def _recv(self) -> dict:
         line = self._rfile.readline(MAX_FRAME_BYTES)
         if not line:
+            # repro: ignore[contract-sync] — client-side raise: surfaces to the local caller, never crosses the wire
             raise ConnectionError("server closed the connection")
         return decode_frame(line)
 
@@ -378,6 +379,7 @@ class AsyncServiceClient:
             while True:
                 line = await self._reader.readline()
                 if not line:
+                    # repro: ignore[contract-sync] — client-side raise: surfaces to the local caller, never crosses the wire
                     raise ConnectionError("server closed the connection")
                 envelope = decode_frame(line)
                 fut = self._waiters.pop(envelope.get("id"), None)
@@ -396,6 +398,7 @@ class AsyncServiceClient:
 
     async def call(self, op: str, **payload: Any) -> dict:
         if self._dead is not None:
+            # repro: ignore[contract-sync] — client-side raise: surfaces to the local caller, never crosses the wire
             raise ConnectionError(
                 f"connection is closed: {self._dead}"
             ) from self._dead
@@ -406,6 +409,7 @@ class AsyncServiceClient:
             # the read loop died between the check above and now: no
             # reader exists to resolve this waiter
             self._waiters.pop(rid, None)
+            # repro: ignore[contract-sync] — client-side raise: surfaces to the local caller, never crosses the wire
             raise ConnectionError(
                 f"connection is closed: {self._dead}"
             ) from self._dead

@@ -114,7 +114,7 @@ class ServiceError(Exception):
 
     code = ErrorCode.INTERNAL
 
-    def __init__(self, message: str, *, code: str | None = None):
+    def __init__(self, message: str, *, code: str | None = None) -> None:
         super().__init__(message)
         if code is not None:
             self.code = code
@@ -150,7 +150,7 @@ class RemoteError(ServiceError):
     """Client-side surfacing of a server error response: carries the
     wire ``code`` so callers switch on it, never on the message."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message, code=code)
 
 

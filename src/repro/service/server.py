@@ -418,12 +418,19 @@ class SolveServer:
         self, payload: dict, ticket: _SolveTicket | None
     ) -> dict:
         t0 = time.perf_counter()
+        # parse off-loop: deserializing a multi-MB instance builds
+        # numpy arrays and would stall every other connection.  It must
+        # also happen *before* the ticket is consumed — the request
+        # still counts toward the batcher's expected-arrivals signal
+        # while it awaits the executor.
+        hg = await asyncio.get_running_loop().run_in_executor(
+            None, partial(self._parse_instance, payload.get("instance"))
+        )
         # this request has arrived at the solving layer: it no longer
         # counts toward the batcher's expected-arrivals signal (there
         # are no awaits between here and its enqueue below, so the
         # window where it is counted nowhere cannot be observed)
         self._consume(ticket)
-        hg = self._parse_instance(payload.get("instance"))
         normalized, token = self._normalized_options(
             payload.get("options")
         )

@@ -1,0 +1,38 @@
+# repro: domain=service
+"""Known-good async-blocking fixture: the repo's executor idiom.
+
+Blocking and CPU-bound work is *referenced* (inside ``partial``) and
+awaited through ``run_in_executor``; sleeps are ``asyncio.sleep``;
+sync functions may block freely (they run on executor threads).
+"""
+
+import asyncio
+import time
+from functools import partial
+
+
+class Handler:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def _parse(self, data):
+        # runs on the executor — blocking here is fine
+        return hypergraph_from_wire(data)  # noqa: F821 — parsed, not run
+
+    async def handle(self, payload):
+        loop = asyncio.get_running_loop()
+        hg = await loop.run_in_executor(
+            None, partial(self._parse, payload)
+        )
+        return await loop.run_in_executor(
+            None, partial(self.engine.solve_many, [hg])
+        )
+
+    async def backoff(self):
+        await asyncio.sleep(0.1)
+
+
+def warm_up(engine, instances):
+    # sync context: blocking calls are out of this rule's scope
+    time.sleep(0.01)
+    return engine.solve_many(instances)

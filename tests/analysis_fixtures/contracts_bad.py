@@ -1,0 +1,37 @@
+# repro: domain=service
+"""Known-bad contract-sync fixture: flag drift and uncoded raises."""
+
+from repro.api.registry import register_solver
+
+
+@register_solver(
+    name="fixture-randomized",
+    domain="hypergraph",
+    capabilities={"randomized", "weighted"},
+    needs_seed=False,  # line: randomized-without-seed
+)
+def _randomized(hg):
+    return hg
+
+
+@register_solver(
+    name="fixture-backend",
+    domain="hypergraph",
+    needs_backend=True,  # line: backend-flag-without-param
+)
+def _no_backend_param(hg):
+    return hg
+
+
+@register_solver(
+    name="fixture-silent-seed",
+    domain="hypergraph",
+)
+def _silent_seed(hg, *, seed=0):  # line: param-without-flag
+    return hg
+
+
+def handle(payload):
+    if "instance" not in payload:
+        raise RuntimeError("missing instance")  # line: uncoded-raise
+    return payload

@@ -1,0 +1,37 @@
+# repro: domain=service
+"""Known-good contract-sync fixture: flags match signatures, raises
+carry wire codes."""
+
+from repro.api.registry import register_solver
+from repro.core.errors import SolverError
+
+
+@register_solver(
+    name="fixture-grasp",
+    domain="hypergraph",
+    capabilities={"randomized", "weighted"},
+    needs_seed=True,
+    needs_backend=True,
+)
+def _grasp_like(hg, *, seed=0, backend="numpy"):
+    return hg
+
+
+register_solver(
+    name="fixture-plain",
+    domain="hypergraph",
+    capabilities={"weighted"},
+)(lambda hg: hg)
+
+
+@register_solver(name="fixture-det", domain="hypergraph")
+def _deterministic(hg):
+    return hg
+
+
+def handle(payload):
+    if "instance" not in payload:
+        raise ValueError("missing instance")  # maps to bad-request
+    if payload.get("broken"):
+        raise SolverError("solver rejected the instance")
+    return payload

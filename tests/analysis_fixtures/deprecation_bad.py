@@ -1,0 +1,11 @@
+"""Known-bad deprecation fixture: internal use of the legacy shims."""
+
+from repro.algorithms import BIPARTITE_ALGORITHMS  # line: shim-import
+
+from repro import algorithms
+
+
+def pick(name):
+    if name in BIPARTITE_ALGORITHMS:
+        return algorithms.get_hypergraph_algorithm(name)  # line: shim-attr
+    return None

@@ -1,0 +1,9 @@
+"""Known-good deprecation fixture: the replacement registry API."""
+
+from repro.api import get_registry, get_solver
+
+
+def pick(name):
+    if name in get_registry():
+        return get_solver(name)
+    return None

@@ -1,0 +1,54 @@
+"""Known-bad lock-guard fixture: the pre-PR-5 ``_ensure_pool`` race.
+
+This reproduces the exact shape of the ``BatchSolver._ensure_pool``
+double-create race that PR 5's audit found by hand: ``close()`` tears
+the pool down under ``self._pool_lock`` while ``_ensure_pool``
+publishes a new one with no lock at all, so a closing thread and a
+solving thread can interleave into two live pools (one leaked).
+
+Fixture files are parsed, never imported — they only need to be valid
+syntax.
+"""
+
+import threading
+
+
+class WarmPool:
+    """Pre-fix warm process pool (do not copy — this is the bug)."""
+
+    def __init__(self, max_workers):
+        self.max_workers = max_workers
+        self._pool = None
+        self._busy = 0
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self):
+        # BUG: read-check-create with no lock; close() runs concurrently
+        if self._pool is None:
+            self._pool = ["worker"] * self.max_workers  # line: race-create
+        self._busy += 1  # line: race-counter
+        return self._pool
+
+    def release(self):
+        with self._pool_lock:
+            self._busy -= 1
+
+    def close(self):
+        with self._pool_lock:
+            self._pool = None
+            self._busy = 0
+
+
+# -- module-scope variant: a cache guarded in one function only --------
+_CACHE = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def cache_put(key, value):
+    with _CACHE_LOCK:
+        _CACHE[key] = value
+
+
+def cache_evict_all():
+    # BUG: clears the dict other writers guard with _CACHE_LOCK
+    _CACHE.clear()  # line: race-global

@@ -1,0 +1,89 @@
+"""Known-good lock-guard fixture: every guarded mutation holds its lock.
+
+Exercises the shapes the rule must *not* flag: construction in
+``__init__``, the ``*_locked`` caller-holds-the-lock convention, a
+dataclass-field lock, unguarded attributes that never appear under a
+lock (single-threaded by design), and a module-scope cache whose every
+mutation is locked.
+"""
+
+import threading
+from dataclasses import dataclass, field
+
+
+class WarmPool:
+    """Post-fix warm pool: create and tear down under one lock."""
+
+    def __init__(self, max_workers):
+        self.max_workers = max_workers
+        self._pool = None
+        self._busy = 0
+        self.stats = {}  # never lock-guarded: single-threaded reporting
+        self._pool_lock = threading.Lock()
+
+    def acquire(self):
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ["worker"] * self.max_workers
+            self._busy += 1
+            return self._pool
+
+    def release(self):
+        with self._pool_lock:
+            self._busy -= 1
+            self._evict_idle_locked()
+
+    def _evict_idle_locked(self):
+        # caller holds _pool_lock (the *_locked convention)
+        if self._busy == 0:
+            self._pool = None
+
+    def note(self, key, value):
+        # fine: self.stats is never mutated under the lock anywhere,
+        # so it is not inferred as guarded state
+        self.stats[key] = value
+
+    def close(self):
+        with self._pool_lock:
+            self._pool = None
+            self._busy = 0
+
+
+@dataclass
+class Session:
+    """Dataclass-field lock: mutations of guarded fields stay locked."""
+
+    baseline: object = None
+    revision: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def advance(self, baseline):
+        with self.lock:
+            self.baseline = baseline
+            self.revision += 1
+
+
+_CACHE = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def cache_put(key, value):
+    with _CACHE_LOCK:
+        _CACHE[key] = value
+
+
+def cache_evict_all():
+    with _CACHE_LOCK:
+        _CACHE.clear()
+
+
+def _cache_insert_locked(key, value):
+    # caller holds _CACHE_LOCK (module-scope *_locked convention)
+    _CACHE[key] = value
+
+
+def local_shadow():
+    # a *local* named like the global is not a guarded mutation
+    _CACHE = {}
+    _CACHE["k"] = "v"
+    return _CACHE

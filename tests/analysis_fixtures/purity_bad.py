@@ -1,0 +1,34 @@
+# repro: domain=kernel
+"""Known-bad kernel-purity fixture: every hazard class.
+
+Buffer copies on the digest path, unseeded RNG, set/dict iteration
+feeding arrays, and unordered float accumulation.
+"""
+
+import random
+
+import numpy as np
+
+
+def digest(h, arr):
+    h.update(arr.tobytes())  # line: tobytes
+
+
+def sample(n):
+    rng = np.random.default_rng()  # line: unseeded-rng
+    noise = np.random.rand(n)  # line: global-np-rng
+    jitter = random.random()  # line: stdlib-rng
+    return rng, noise, jitter
+
+
+def collect(tasks, weights):
+    order = np.array(set(tasks))  # line: set-to-array
+    cols = np.asarray(weights.keys())  # line: dict-view-to-array
+    listed = list({t for t in tasks})  # line: setcomp-to-list
+    return order, cols, listed
+
+
+def loads(assignment, w, n_procs):
+    return np.bincount(
+        assignment, weights=w, minlength=n_procs
+    )  # line: weighted-bincount

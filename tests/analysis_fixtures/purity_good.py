@@ -1,0 +1,34 @@
+# repro: domain=kernel
+"""Known-good kernel-purity fixture: the accepted idioms.
+
+Memoryview hashing, seeded Generators threaded from the experiment
+seed, ``sorted(...)`` before array construction, integer ``bincount``
+and the ordered ``np.add.at`` reduction.
+"""
+
+import numpy as np
+
+
+def digest(h, arr):
+    # hash the buffer view directly — no copy
+    h.update(np.ascontiguousarray(arr, dtype=np.int64).data)
+
+
+def sample(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def collect(tasks, weights):
+    order = np.array(sorted(set(tasks)))
+    cols = np.asarray(sorted(weights.keys()))
+    return order, cols
+
+
+def loads(assignment, w, n_procs):
+    # counting (integer, exact) is fine without ordering
+    counts = np.bincount(assignment, minlength=n_procs)
+    # float accumulation goes through the ordered add.at idiom
+    out = np.zeros(n_procs, dtype=np.float64)
+    np.add.at(out, assignment, w)
+    return counts, out

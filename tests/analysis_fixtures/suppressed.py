@@ -1,0 +1,24 @@
+# repro: domain=kernel
+"""Suppression-mechanics fixture.
+
+One justified suppression (silences its finding, no hygiene noise),
+one suppression with no justification (hygiene finding), and one
+suppression whose rule never fires on its line (unused — hygiene
+finding).
+"""
+
+import numpy as np
+
+
+def checksum(arr):
+    # repro: ignore[kernel-purity] — tiny fixed-size header, copy is cheaper than a view here
+    return arr.tobytes()
+
+
+def sample(n):
+    return np.random.rand(n)  # repro: ignore[kernel-purity]
+
+
+def orderly(tasks):
+    # repro: ignore[kernel-purity] — nothing impure happens on the next line
+    return sorted(tasks)

@@ -163,6 +163,26 @@ class TestLifecycleEdges:
         assert new != task  # handles are never reused
         assert_identical_compilation(inst)
 
+    def test_weight_edit_after_struct_op_in_same_batch(self):
+        """A weight edit landing *after* a task add/remove, before the
+        next emission, must void the delta-splice baseline: the splice
+        reuses the previous emission's weight arrays, which predate the
+        edit (regression: the edit was silently dropped)."""
+        inst = self._fresh()
+        inst.compile()
+        # remove-then-edit in one un-emitted batch
+        victim = inst.tasks()[0]
+        inst.remove_task(victim)
+        survivor = inst.tasks()[0]
+        idx, _pins, w = inst.task_configs(survivor)[0]
+        inst.update_weight(survivor, idx, w + 3.5)
+        assert_identical_compilation(inst)
+        # add-then-edit in one un-emitted batch
+        procs = inst.procs()
+        new = inst.add_task([([procs[0]], 2.0)])
+        inst.update_weight(new, 0, 7.25)
+        assert_identical_compilation(inst)
+
     def test_remove_then_readd_processor(self):
         inst = self._fresh()
         inst.compile()

@@ -202,22 +202,9 @@ class TestGeneratedMembership:
         for spec in get_registry():
             assert f"`{spec.name}`" in table
 
-    def test_api_md_registry_table_in_sync(self):
-        """API.md's solver table is generated — keep it that way."""
-        from pathlib import Path
-
-        from repro.api import registry_table
-
-        text = Path(__file__).resolve().parent.parent.joinpath(
-            "API.md"
-        ).read_text()
-        begin = text.index("registry-table:begin")
-        begin = text.index("\n", begin) + 1
-        end = text.index("<!-- registry-table:end -->")
-        assert text[begin:end].strip() == registry_table().strip(), (
-            "API.md is stale: paste the output of "
-            "repro.api.registry_table() between the markers"
-        )
+    # API.md's registry/error-code tables are now checked statically by
+    # the contract-sync rule (`semimatch check`); see
+    # tests/test_analysis.py::TestContractSync::test_api_md_tables_in_sync
 
     def test_cli_solvers_subcommand(self, capsys):
         from repro.experiments.cli import main
