@@ -28,6 +28,10 @@ Rules
     the live code.
 ``deprecation``
     Internal imports of the warn-once legacy shims.
+``span-hygiene``
+    Tracing discipline: manual ``.start()``/``.end()`` span lifetimes
+    (use ``with span(...)``), and span-factory calls in kernel-domain
+    modules, where only justified boundary spans are allowed.
 ``suppression``
     Hygiene of the ``# repro: ignore[RULE]`` comments themselves:
     every suppression needs a justification and must still be load-
@@ -59,6 +63,7 @@ from .core import (
 from .deprecation import DeprecationRule
 from .lockguard import LockGuardRule
 from .purity import KernelPurityRule
+from .spanhygiene import SpanHygieneRule
 
 __all__ = [
     "ALL_RULES",
@@ -81,6 +86,7 @@ ALL_RULES: tuple[Rule, ...] = (
     KernelPurityRule(),
     ContractSyncRule(),
     DeprecationRule(),
+    SpanHygieneRule(),
 )
 
 

@@ -1,0 +1,105 @@
+"""span-hygiene: tracing spans must be scoped, and kept out of kernels.
+
+The tracing layer (:mod:`repro.obs.trace`) is built around ``with``
+blocks: a span that is entered is always exited, on every path,
+exception or not, and its parent/child nesting mirrors the call
+structure.  The escape hatches (``.start()``/``.end()``) exist only for
+the rare lifetime that genuinely cannot be expressed as a block, and
+every manual pair is a leak waiting for an early return.  This rule
+flags:
+
+* ``.start()`` / ``.end()`` calls on a name bound from ``span(...)``
+  or ``measured_span(...)`` — and the chained forms
+  ``span(...).start()`` — use ``with span(...)`` instead;
+* any span-factory call in a **kernel-domain** module (``kernels/``,
+  ``dynamic/``, or a ``# repro: domain=kernel`` marker): kernel inner
+  loops are the one place span overhead could actually show, so the
+  default is *no spans at all*.  The blessed boundary spans (compile
+  on a digest miss, patch emit, dynamic repair — once per call, never
+  per edge) carry ``# repro: ignore[RULE]`` suppressions whose
+  justifications document exactly why they are safe.
+
+Unrelated ``.start()`` calls (timers, threads, processes) are not
+flagged: only names the module itself bound from a span factory count.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .core import Finding, ModuleContext, Rule
+
+#: the factory callables of repro.obs.trace, by terminal name — calls
+#: like ``span(...)``, ``trace.span(...)`` and ``T.measured_span(...)``
+#: all resolve through one of these.
+_FACTORIES = frozenset({"span", "measured_span"})
+
+#: the modules that *implement* tracing: their internal ``start``/
+#: ``end`` plumbing is the machinery itself, not usage.
+_DEFINING = ("obs/trace.py",)
+
+
+def _factory_call(node: ast.AST) -> str | None:
+    """The factory name when ``node`` is a ``span(...)``-shaped call."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _FACTORIES:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in _FACTORIES:
+        return func.attr
+    return None
+
+
+class SpanHygieneRule(Rule):
+    id = "span-hygiene"
+    title = "unscoped span lifetimes; spans in kernel-domain modules"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.rel.replace("\\", "/").endswith(_DEFINING):
+            return
+        kernel = "kernel" in ctx.domains
+        span_names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            factory = _factory_call(node)
+            if factory is not None and kernel:
+                yield ctx.finding(
+                    node, self.id,
+                    f"{factory}() in a kernel-domain module — kernels "
+                    f"must stay span-free; a once-per-call boundary span "
+                    f"needs a justified span-hygiene suppression",
+                )
+        # bindings first (two passes): a use may precede its binding in
+        # source order (closures, methods defined above __init__)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = getattr(node, "value", None)
+                if _factory_call(value) is None:
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        span_names.add(target.id)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("start", "end")
+            ):
+                continue
+            owner = node.func.value
+            manual = (
+                isinstance(owner, ast.Name) and owner.id in span_names
+            ) or _factory_call(owner) is not None
+            if manual:
+                yield ctx.finding(
+                    node, self.id,
+                    f"manual span .{node.func.attr}() — an early return "
+                    f"or exception leaks the span; use `with span(...)` "
+                    f"so exit is guaranteed on every path",
+                )

@@ -51,6 +51,13 @@ class SolveResult:
     portfolio:
         Per-entry :class:`EntryStat` tuples for portfolio races, else
         ``None``.
+    stats:
+        Span-attributed timing breakdown of *this* solve: ``solve_s``
+        and ``cache_hit`` always; ``compile_s`` when a kernel compile
+        happened inside the solve (requires tracing enabled — the
+        engine reads it off the span timings); ``queue_s`` when the
+        solve went through the service's micro-batcher.  Empty only for
+        results built outside the engine.
     """
 
     matching: HyperSemiMatching
@@ -60,6 +67,7 @@ class SolveResult:
     wall_time_s: float = 0.0
     cache_hit: bool = False
     portfolio: tuple[EntryStat, ...] | None = None
+    stats: dict = field(default_factory=dict)
     _lower_bound: float | None = field(
         default=None, repr=False, compare=False
     )

@@ -49,6 +49,7 @@ import numpy as np
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching
 from ..kernels import first_lex_improving
+from ..obs.trace import span
 from .instance import DynamicInstance
 from .journal import Mutation
 
@@ -218,21 +219,26 @@ class IncrementalSolver:
     # repair
     # ------------------------------------------------------------------
     def _repair(self, m: Mutation) -> None:
-        limit = self._displacement_limit()
-        if limit <= 0:
-            self.stats.fallbacks += 1
-            self._full_resolve()
-            return
-        repair = self._apply_direct(m)
-        if repair is None:
-            return  # nothing to repair (e.g. a processor joined)
-        region, displaced = repair
-        if displaced > limit:
-            self.stats.fallbacks += 1
-            self._full_resolve()
-            return
-        self.stats.local_repairs += 1
-        self._bounded_local_search(region)
+        # per-mutation boundary: one span per journal record, wrapping
+        # whichever tier (local repair or fallback re-solve) runs
+        with span("dynamic.repair") as sp:  # repro: ignore[span-hygiene] — repair boundary, one span per journal mutation, outside the local-search inner loop
+            if sp.recording:
+                sp.set(op=m.op)
+            limit = self._displacement_limit()
+            if limit <= 0:
+                self.stats.fallbacks += 1
+                self._full_resolve()
+                return
+            repair = self._apply_direct(m)
+            if repair is None:
+                return  # nothing to repair (e.g. a processor joined)
+            region, displaced = repair
+            if displaced > limit:
+                self.stats.fallbacks += 1
+                self._full_resolve()
+                return
+            self.stats.local_repairs += 1
+            self._bounded_local_search(region)
 
     def _apply_direct(
         self, m: Mutation
@@ -466,8 +472,11 @@ class IncrementalSolver:
             return current
         from ..api import solve as api_solve
 
-        compiled = inst.compile()
-        result = api_solve(compiled.hypergraph, method=self.method)
+        # compaction boundary: runs on the owner's cadence (periodic),
+        # never inside a repair loop
+        with span("dynamic.compact"):  # repro: ignore[span-hygiene] — periodic global re-optimisation boundary, one span per compaction, not a hot loop
+            compiled = inst.compile()
+            result = api_solve(compiled.hypergraph, method=self.method)
         if result.makespan < current:
             self._loads = {u: 0.0 for u in inst.procs()}
             self._on_proc = {}

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence, Union
 
@@ -38,6 +37,14 @@ from ..api.options import SolveOptions
 from ..api.result import SolveResult
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching
+from ..obs.trace import (
+    adopt,
+    collect_timings,
+    ingest,
+    measured_span,
+    ship_context,
+    span,
+)
 from ..sched.model import SchedulingProblem
 from ..sched.schedule import Schedule
 from .cache import ResultCache, instance_digest
@@ -84,10 +91,21 @@ def _outcome_meta(outcome: Outcome, wall_s: float) -> dict:
     return meta
 
 
+def _solve_stats(solve_s: float, timings: dict | None) -> dict:
+    """The ``SolveResult.stats`` breakdown for one fresh solve."""
+    stats = {"solve_s": solve_s, "cache_hit": False}
+    if timings:
+        compile_s = timings.get("kernels.compile")
+        if compile_s is not None:
+            stats["compile_s"] = compile_s
+    return stats
+
+
 def _solve_chunk(
-    items: list, options: SolveOptions
-) -> list[tuple]:
-    """Worker payload: solve a chunk, return (assignment, meta) pairs.
+    items: list, options: SolveOptions, trace_ctx: tuple | None = None
+) -> tuple[list[tuple], list[dict] | None]:
+    """Worker payload: solve a chunk, return (assignment, meta) pairs
+    plus any spans recorded under the shipped trace context.
 
     Each item is either a pickled :class:`TaskHypergraph` or a
     shared-memory descriptor (see :mod:`repro.engine.transport`); the
@@ -96,17 +114,23 @@ def _solve_chunk(
     provenance dict (rather than full matchings) keeps the result
     pickle small; the parent rebuilds — and thereby re-validates — each
     :class:`HyperSemiMatching` against its own copy of the instance.
+
+    ``trace_ctx`` is the parent's ``(trace_id, span_id)`` (or ``None``
+    when tracing is off): worker-side spans join that trace, come back
+    as the second return element, and the parent ``ingest``\\ s them —
+    the process hop contextvars cannot cross.
     """
     out = []
-    for item in items:
-        hg = attach_instance(item) if is_descriptor(item) else item
-        t0 = time.perf_counter()
-        outcome = solve_hypergraph_outcome(hg, options)
-        wall = time.perf_counter() - t0
-        out.append(
-            (outcome.matching.hedge_of_task, _outcome_meta(outcome, wall))
-        )
-    return out
+    with adopt(trace_ctx) as shipped:
+        for item in items:
+            hg = attach_instance(item) if is_descriptor(item) else item
+            with collect_timings() as timings:
+                with measured_span("engine.solve") as sp:
+                    outcome = solve_hypergraph_outcome(hg, options)
+            meta = _outcome_meta(outcome, sp.duration_s)
+            meta["stats"] = _solve_stats(sp.duration_s, timings)
+            out.append((outcome.matching.hedge_of_task, meta))
+    return out, shipped
 
 
 class BatchSolver:
@@ -309,63 +333,73 @@ class BatchSolver:
         pairs = [self._coerce(x) for x in instances]
         results: list[SolveResult | None] = [None] * len(pairs)
 
-        # 1. serve what the cache already knows
-        keys: list[tuple | None] = [None] * len(pairs)
-        pending: list[int] = []
-        for i, (_, hg) in enumerate(pairs):
-            if self.cache is not None:
-                key = (instance_digest(hg), *token)
-                keys[i] = key
-                hit = self.cache.get(key)
-                if hit is not None:
-                    results[i] = self._result(
-                        hg,
-                        hit.assignment,
-                        hit.meta,
-                        opts,
-                        cache_hit=True,
-                    )
-                    continue
-            pending.append(i)
+        with span("engine.solve_many") as many_sp:
+            # 1. serve what the cache already knows
+            keys: list[tuple | None] = [None] * len(pairs)
+            pending: list[int] = []
+            for i, (_, hg) in enumerate(pairs):
+                if self.cache is not None:
+                    key = (instance_digest(hg), *token)
+                    keys[i] = key
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        results[i] = self._result(
+                            hg,
+                            hit.assignment,
+                            hit.meta,
+                            opts,
+                            cache_hit=True,
+                        )
+                        continue
+                pending.append(i)
+            if many_sp.recording:
+                many_sp.set(
+                    instances=len(pairs),
+                    cache_hits=len(pairs) - len(pending),
+                    executor=self.executor,
+                )
 
-        # 2. solve the rest, pooled when it pays off
-        if pending:
-            if (
-                self.executor == "serial"
-                or self.max_workers == 1
-                or len(pending) == 1
-            ):
-                for i in pending:
-                    t0 = time.perf_counter()
-                    outcome = solve_hypergraph_outcome(pairs[i][1], opts)
-                    wall = time.perf_counter() - t0
-                    results[i] = SolveResult(
-                        matching=outcome.matching,
-                        options=opts,
-                        winner=outcome.winner,
-                        wall_time_s=wall,
-                        portfolio=outcome.entries,
-                    )
-            else:
-                self._solve_pooled(pairs, pending, opts, results)
-            if self.cache is not None:
-                for i in pending:
-                    res = _checked(results[i])
-                    self.cache.put(
-                        keys[i],
-                        res.matching.hedge_of_task,
-                        {
-                            "winner": res.winner,
-                            "entries": (
-                                [
-                                    (e.method, e.makespan, e.time_s)
-                                    for e in res.portfolio
-                                ]
-                                if res.portfolio is not None
-                                else None
-                            ),
-                        },
-                    )
+            # 2. solve the rest, pooled when it pays off
+            if pending:
+                if (
+                    self.executor == "serial"
+                    or self.max_workers == 1
+                    or len(pending) == 1
+                ):
+                    for i in pending:
+                        with collect_timings() as timings:
+                            with measured_span("engine.solve") as sp:
+                                outcome = solve_hypergraph_outcome(
+                                    pairs[i][1], opts
+                                )
+                        results[i] = SolveResult(
+                            matching=outcome.matching,
+                            options=opts,
+                            winner=outcome.winner,
+                            wall_time_s=sp.duration_s,
+                            portfolio=outcome.entries,
+                            stats=_solve_stats(sp.duration_s, timings),
+                        )
+                else:
+                    self._solve_pooled(pairs, pending, opts, results)
+                if self.cache is not None:
+                    for i in pending:
+                        res = _checked(results[i])
+                        self.cache.put(
+                            keys[i],
+                            res.matching.hedge_of_task,
+                            {
+                                "winner": res.winner,
+                                "entries": (
+                                    [
+                                        (e.method, e.makespan, e.time_s)
+                                        for e in res.portfolio
+                                    ]
+                                    if res.portfolio is not None
+                                    else None
+                                ),
+                            },
+                        )
 
         out = []
         for (problem, _), result in zip(pairs, results):
@@ -386,6 +420,12 @@ class BatchSolver:
         cache_hit: bool = False,
     ) -> SolveResult:
         entries = meta.get("entries")
+        stats = meta.get("stats")
+        if cache_hit or stats is None:
+            stats = {
+                "solve_s": 0.0 if cache_hit else meta.get("time_s", 0.0),
+                "cache_hit": cache_hit,
+            }
         return SolveResult(
             matching=HyperSemiMatching(hg, assignment),
             options=opts,
@@ -397,6 +437,7 @@ class BatchSolver:
                 if entries
                 else None
             ),
+            stats=dict(stats),
         )
 
     def _payloads(
@@ -442,6 +483,7 @@ class BatchSolver:
             pending[lo : lo + chunk] for lo in range(0, len(pending), chunk)
         ]
         payloads, held = self._payloads(pairs, pending)
+        trace_ctx = ship_context()
         pool = self._acquire_pool()
         try:
             futures = [
@@ -449,11 +491,14 @@ class BatchSolver:
                     _solve_chunk,
                     [payloads.get(i, pairs[i][1]) for i in idxs],
                     opts,
+                    trace_ctx,
                 )
                 for idxs in chunks
             ]
             for idxs, future in zip(chunks, futures):
-                for i, (assignment, meta) in zip(idxs, future.result()):
+                chunk_out, shipped = future.result()
+                ingest(shipped)
+                for i, (assignment, meta) in zip(idxs, chunk_out):
                     results[i] = self._result(
                         pairs[i][1], assignment, meta, opts
                     )

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..api.options import SolveOptions
 from ..core.hypergraph import TaskHypergraph
+from ..obs.trace import span
 
 __all__ = [
     "CachedSolve",
@@ -171,17 +172,21 @@ class ResultCache:
 
     def get(self, key: tuple) -> CachedSolve | None:
         """The cached solve for ``key``, or None (counts a miss)."""
-        with self._lock:
-            try:
-                value = self._data[key]
-            except KeyError:
-                self.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
-            return CachedSolve(
-                value.assignment.copy(), dict(value.meta)
-            )
+        with span("engine.cache.get") as sp:
+            with self._lock:
+                stored = self._data.get(key)
+                if stored is None:
+                    self.misses += 1
+                    value = None
+                else:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    value = CachedSolve(
+                        stored.assignment.copy(), dict(stored.meta)
+                    )
+            if sp.recording:
+                sp.set(hit=value is not None)
+            return value
 
     def put(
         self, key: tuple, assignment: np.ndarray, meta: dict | None = None
@@ -191,11 +196,18 @@ class ResultCache:
             np.ascontiguousarray(assignment, dtype=np.int64).copy(),
             dict(meta) if meta else {},
         )
-        with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+        with span("engine.cache.put"):
+            with self._lock:
+                self._data[key] = value
+                self._data.move_to_end(key)
+                if len(self._data) > self.maxsize:
+                    with span("engine.cache.evict") as esp:
+                        evicted = 0
+                        while len(self._data) > self.maxsize:
+                            self._data.popitem(last=False)
+                            evicted += 1
+                        if esp.recording:
+                            esp.set(count=evicted)
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""

@@ -39,6 +39,7 @@ from ..api.options import SolveOptions
 from ..api.registry import get_registry
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching
+from ..obs.trace import span
 
 __all__ = [
     "DEFAULT_PORTFOLIO",
@@ -91,7 +92,11 @@ def solve_hypergraph_outcome(
     if not isinstance(hg, TaskHypergraph) and hasattr(hg, "to_hypergraph"):
         hg = hg.to_hypergraph()
     options = options.normalized()
-    return evaluate(hg, options.method, _context(options))
+    with span("engine.dispatch") as sp:
+        outcome = evaluate(hg, options.method, _context(options))
+        if sp.recording:
+            sp.set(method=str(options.method), winner=outcome.winner)
+    return outcome
 
 
 def solve_hypergraph(

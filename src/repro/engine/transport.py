@@ -39,6 +39,7 @@ from typing import Any
 import numpy as np
 
 from ..core.hypergraph import TaskHypergraph
+from ..obs.trace import span
 
 try:  # pragma: no cover - import guard exercised only off-POSIX
     from multiprocessing import shared_memory as _shm
@@ -167,7 +168,10 @@ class ExportRegistry:
                 self._order.append(digest)
                 return export.descriptor
         try:
-            export = self._create(hg, digest)
+            with span("engine.transport.export") as sp:
+                export = self._create(hg, digest)
+                if sp.recording:
+                    sp.set(digest=digest[:12])
         except Exception:
             with self._lock:
                 self.failures += 1
@@ -279,24 +283,27 @@ def attach_instance(descriptor: dict) -> TaskHypergraph:
     if hit is not None:
         _ATTACHED[name] = hit  # re-insert: LRU refresh
         return hit[1]
-    shm = _attach_segment(name)
-    n_tasks, n_procs, n_hedges = descriptor["counts"]
-    arrays = {}
-    for f, off, n in descriptor["layout"]:
-        dtype = np.float64 if f == "hedge_w" else np.int64
-        arr = np.ndarray((n,), dtype=dtype, buffer=shm.buf, offset=off)
-        arr.setflags(write=False)
-        arrays[f] = arr
-    hg = TaskHypergraph(
-        n_tasks=int(n_tasks),
-        n_procs=int(n_procs),
-        n_hedges=int(n_hedges),
-        **arrays,
-    )
-    # the parent computed the digest already; pre-seeding the memo
-    # makes the worker's cache lookups free *and* keeps the frozen-
-    # arrays invariant instance_digest would have established
-    object.__setattr__(hg, "_digest_cache", descriptor["digest"])
+    with span("engine.transport.attach") as sp:
+        shm = _attach_segment(name)
+        n_tasks, n_procs, n_hedges = descriptor["counts"]
+        arrays = {}
+        for f, off, n in descriptor["layout"]:
+            dtype = np.float64 if f == "hedge_w" else np.int64
+            arr = np.ndarray((n,), dtype=dtype, buffer=shm.buf, offset=off)
+            arr.setflags(write=False)
+            arrays[f] = arr
+        hg = TaskHypergraph(
+            n_tasks=int(n_tasks),
+            n_procs=int(n_procs),
+            n_hedges=int(n_hedges),
+            **arrays,
+        )
+        # the parent computed the digest already; pre-seeding the memo
+        # makes the worker's cache lookups free *and* keeps the frozen-
+        # arrays invariant instance_digest would have established
+        object.__setattr__(hg, "_digest_cache", descriptor["digest"])
+        if sp.recording:
+            sp.set(digest=descriptor["digest"][:12])
     _ATTACHED[name] = (shm, hg)
     while len(_ATTACHED) > _ATTACH_MAX:
         victim_name, (vshm, vhg) = next(iter(_ATTACHED.items()))

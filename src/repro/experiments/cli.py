@@ -212,6 +212,33 @@ def main(argv: list[str] | None = None) -> int:
         help="submit the same request N times (cache/dedup demo)",
     )
 
+    tr = subs.add_parser(
+        "trace",
+        help="fetch the server's flight recorder (its retained slow "
+             "traces) and render them as span trees",
+    )
+    tr.add_argument("--host", default="127.0.0.1")
+    tr.add_argument("--port", type=int, default=7431)
+    tr.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="only the N most recent retained traces (default: all)",
+    )
+    tr.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="span trees (text) or the raw trace records (json)",
+    )
+
+    mx = subs.add_parser(
+        "metrics",
+        help="fetch a running server's metrics snapshot",
+    )
+    mx.add_argument("--host", default="127.0.0.1")
+    mx.add_argument("--port", type=int, default=7431)
+    mx.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="JSON snapshot or Prometheus text exposition",
+    )
+
     st = subs.add_parser(
         "stats", help="describe a JSON instance (shape, degrees, balance)"
     )
@@ -224,7 +251,7 @@ def main(argv: list[str] | None = None) -> int:
     ck = subs.add_parser(
         "check",
         help="run the repro static analyzer (lock-guard, async-blocking, "
-             "kernel-purity, contract-sync, deprecation)",
+             "kernel-purity, contract-sync, deprecation, span-hygiene)",
     )
     from ..analysis import add_check_arguments
 
@@ -402,6 +429,50 @@ def main(argv: list[str] | None = None) -> int:
             )
         except RemoteError as exc:
             parser.error(f"[{exc.code}] {exc}")
+        return 0
+
+    if args.command in ("trace", "metrics"):
+        import json
+
+        from ..service import RemoteError, ServiceClient
+
+        try:
+            with ServiceClient(host=args.host, port=args.port) as client:
+                if args.command == "metrics":
+                    if args.format == "prom":
+                        print(
+                            client.metrics(format="prometheus")["text"],
+                            end="",
+                        )
+                    else:
+                        print(json.dumps(
+                            client.metrics(), indent=2, sort_keys=True
+                        ))
+                    return 0
+                recorder = client.traces(count=args.count)
+        except OSError as exc:
+            parser.error(
+                f"cannot reach semimatch service at "
+                f"{args.host}:{args.port}: {exc}"
+            )
+        except RemoteError as exc:
+            parser.error(f"[{exc.code}] {exc}")
+        if args.format == "json":
+            print(json.dumps(recorder, indent=2, sort_keys=True))
+            return 0
+        from ..obs.trace import format_trace_tree
+
+        traces = recorder["traces"]
+        state = "enabled" if recorder["enabled"] else "disabled"
+        print(
+            f"flight recorder: {len(traces)} trace(s) retained "
+            f"(tracing {state}, threshold "
+            f"{recorder['threshold_s'] * 1000:g}ms, "
+            f"keep {recorder['keep']})"
+        )
+        for trace in traces:
+            print()
+            print(format_trace_tree(trace))
         return 0
 
     if args.command == "solve":

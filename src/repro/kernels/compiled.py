@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.hypergraph import TaskHypergraph
+from ..obs.trace import span
 
 __all__ = [
     "CompiledKernels",
@@ -293,7 +294,12 @@ def compile_instance(
             _CACHE_HITS += 1
             return hit
         _CACHE_MISSES += 1
-    compiled = _compile(hg, digest)
+    # boundary span, not a hot loop: one compile per new digest, and the
+    # disabled path is a flag check
+    with span("kernels.compile") as sp:  # repro: ignore[span-hygiene] — cache-miss boundary, runs once per instance digest, never inside solver inner loops
+        compiled = _compile(hg, digest)
+        if sp.recording:
+            sp.set(digest=digest[:12], n_tasks=hg.n_tasks)
     with _CACHE_LOCK:
         _cache_insert_locked(digest, compiled)
     return compiled

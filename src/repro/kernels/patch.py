@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.hypergraph import TaskHypergraph
+from ..obs.trace import span
 from .compiled import CompiledKernels, flat_ranges, register_compiled
 
 __all__ = [
@@ -329,6 +330,13 @@ class KernelPatcher:
         trusts handles and feasibility exactly as the journal's owner
         established them.
         """
+        # per-journal-record boundary, not a per-pin loop
+        with span("kernels.patch.apply") as sp:  # repro: ignore[span-hygiene] — mutation-apply boundary, one span per journal record, outside the vectorized splice loops
+            self._apply(mutation)
+            if sp.recording:
+                sp.set(op=mutation.op)
+
+    def _apply(self, mutation) -> None:
         op, p = mutation.op, mutation.payload
         self.stats.mutations += 1
         if op == "update_weight":
@@ -477,6 +485,14 @@ class KernelPatcher:
         """The compilation of the current state (cached while clean;
         weight-only edits take a copy-on-write fast path, a single
         task add/remove a splice of the previous emission)."""
+        # emission boundary: one span per journal sync, covering
+        # whichever tier (reuse / weights / delta splice / struct) runs
+        with span("kernels.patch.emit") as sp:  # repro: ignore[span-hygiene] — emission boundary, one span per sync, wraps the tier dispatch rather than any inner array loop
+            if sp.recording:
+                sp.set(tier=("clean", "weights", "struct")[self._dirty])
+            return self._emit()
+
+    def _emit(self) -> PatchedCompilation:
         if self._last is not None:
             if self._dirty == _CLEAN:
                 self.stats.reused += 1
@@ -485,11 +501,14 @@ class KernelPatcher:
                 return self._emit_weights()
             if self._pending is not None and len(self._pending) == 1:
                 op, t = self._pending[0]
-                artifact = (
-                    self._delta_add(t)
-                    if op == "add_task"
-                    else self._delta_remove(t)
-                )
+                with span("kernels.patch.splice") as dsp:  # repro: ignore[span-hygiene] — delta-splice tier boundary, one span per single-op emission, wraps the whole splice not its array ops
+                    if dsp.recording:
+                        dsp.set(op=op)
+                    artifact = (
+                        self._delta_add(t)
+                        if op == "add_task"
+                        else self._delta_remove(t)
+                    )
                 if artifact is not None:
                     return artifact
         return self._emit_struct()
@@ -765,6 +784,12 @@ class KernelPatcher:
         return artifact
 
     def _emit_struct(self) -> PatchedCompilation:
+        # the expensive tier (full rebuild of the grouped arrays): worth
+        # its own span so traces separate it from the splice fast paths
+        with span("kernels.patch.struct"):  # repro: ignore[span-hygiene] — full-rebuild tier boundary, runs once per struct emission, not per pin
+            return self._emit_struct_inner()
+
+    def _emit_struct_inner(self) -> PatchedCompilation:
         n = self._nrows
         alive_rows = np.flatnonzero(self._row_alive[:n])
         nh = alive_rows.size

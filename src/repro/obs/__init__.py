@@ -1,0 +1,74 @@
+"""repro.obs — cross-layer observability: spans, metrics, flight data.
+
+Two dependency-free halves:
+
+* :mod:`repro.obs.trace` — the span tracer.  ``with span("name")``
+  regions share a trace id carried through async tasks, executor
+  threads and the engine's process pool, landing in a bounded ring
+  buffer with JSONL export and a slow-solve flight recorder.  Off by
+  default; :func:`enable_tracing` costs one flag flip and the disabled
+  path allocates nothing.
+* :mod:`repro.obs.metrics` — the process-wide metrics registry
+  (counters / gauges / histograms) with JSON and Prometheus-text
+  exposition.  :mod:`repro.service.metrics` is a thin view over it.
+
+See API.md's "Observability" section for the naming scheme, the
+metrics-op scrape contract, and the ``semimatch trace`` / ``semimatch
+metrics`` CLI.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .trace import (
+    RECORDER,
+    Span,
+    TraceRecorder,
+    adopt,
+    attached,
+    carry,
+    collect_timings,
+    current_trace_id,
+    disable_tracing,
+    enable_tracing,
+    export_jsonl,
+    format_trace_tree,
+    ingest,
+    measured_span,
+    ship_context,
+    span,
+    tracing,
+    tracing_enabled,
+    wire_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RECORDER",
+    "Span",
+    "TraceRecorder",
+    "adopt",
+    "attached",
+    "carry",
+    "collect_timings",
+    "current_trace_id",
+    "default_registry",
+    "disable_tracing",
+    "enable_tracing",
+    "export_jsonl",
+    "format_trace_tree",
+    "ingest",
+    "measured_span",
+    "ship_context",
+    "span",
+    "tracing",
+    "tracing_enabled",
+    "wire_context",
+]

@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING
 from ..api.options import SolveOptions
 from ..api.result import SolveResult
 from ..core.hypergraph import TaskHypergraph
+from ..obs.trace import carry, span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.batch import BatchSolver
@@ -56,10 +57,14 @@ __all__ = ["MicroBatcher"]
 
 @dataclass
 class _Group:
-    """Requests sharing one options cache token, awaiting one flush."""
+    """Requests sharing one options cache token, awaiting one flush.
+
+    Items are ``(instance, future, enqueue time)`` triples — the
+    enqueue timestamp is what ``queue_s`` on ``SolveResult.stats``
+    derives from."""
 
     options: SolveOptions
-    items: list[tuple[TaskHypergraph, asyncio.Future]] = field(
+    items: list[tuple[TaskHypergraph, asyncio.Future, float]] = field(
         default_factory=list
     )
     timer: asyncio.TimerHandle | None = None
@@ -129,7 +134,8 @@ class MicroBatcher:
         computed it (the server does, for the dedup key).
         """
         loop = asyncio.get_running_loop()
-        self._note_arrival(loop.time())
+        now = loop.time()
+        self._note_arrival(now)
         if token is None:
             token = options.cache_token()
         group = self._groups.get(token)
@@ -142,7 +148,7 @@ class MicroBatcher:
                     delay, self._flush, token
                 )
         fut: asyncio.Future = loop.create_future()
-        group.items.append((hg, fut))
+        group.items.append((hg, fut, now))
         if len(group.items) >= self.max_batch or group.timer is None:
             self._flush(token)
         else:
@@ -220,24 +226,35 @@ class MicroBatcher:
 
     async def _run_batch(self, group: _Group) -> None:
         loop = asyncio.get_running_loop()
-        instances = [hg for hg, _ in group.items]
-        try:
-            results = await loop.run_in_executor(
-                None,
-                partial(
-                    self.engine.solve_many,
-                    instances,
-                    options=group.options,
-                ),
-            )
-        except Exception as exc:
-            for _, fut in group.items:
-                if not fut.done():
-                    fut.set_exception(exc)
-                    fut.exception()  # mark retrieved for abandoned futures
-            return
+        instances = [hg for hg, _, _ in group.items]
+        # many requests may funnel into one flush; the flush span (and
+        # the engine spans under it) lands in the trace of whichever
+        # request triggered it — ``carry`` walks that context across
+        # the executor-thread hop
+        with span("service.batch.flush") as sp:
+            if sp.recording:
+                sp.set(size=len(instances))
+            started = loop.time()
+            try:
+                results = await loop.run_in_executor(
+                    None,
+                    carry(
+                        partial(
+                            self.engine.solve_many,
+                            instances,
+                            options=group.options,
+                        )
+                    ),
+                )
+            except Exception as exc:
+                for _, fut, _ in group.items:
+                    if not fut.done():
+                        fut.set_exception(exc)
+                        fut.exception()  # mark retrieved when abandoned
+                return
         if self.metrics is not None:
             self.metrics.observe_batch(len(group.items))
-        for (_, fut), result in zip(group.items, results):
+        for (_, fut, enqueued), result in zip(group.items, results):
+            result.stats["queue_s"] = max(0.0, started - enqueued)
             if not fut.done():
                 fut.set_result(result)

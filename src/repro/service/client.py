@@ -32,6 +32,7 @@ from ..core.bipartite import BipartiteGraph
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching
 from ..dynamic import DynamicInstance, Mutation
+from ..obs.trace import wire_context
 from ..sched.model import SchedulingProblem
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -110,6 +111,17 @@ def _mutation_to_wire(mutation: Mutation | dict) -> dict:
     return mutation.to_dict() if isinstance(mutation, Mutation) else mutation
 
 
+def _traced_request(op: str, rid: Any, payload: dict) -> dict:
+    """A request envelope carrying the caller's trace context (when the
+    caller is inside an enabled span — see the protocol's ``trace``
+    envelope field)."""
+    envelope = request(op, rid, **payload)
+    ctx = wire_context()
+    if ctx is not None:
+        envelope["trace"] = ctx
+    return envelope
+
+
 # ----------------------------------------------------------------------
 # results
 # ----------------------------------------------------------------------
@@ -124,6 +136,7 @@ class RemoteSolveResult:
     cache_hit: bool
     deduped: bool
     wall_time_s: float
+    stats: dict
     raw: dict
 
     @staticmethod
@@ -136,6 +149,7 @@ class RemoteSolveResult:
             cache_hit=bool(result.get("cache_hit", False)),
             deduped=bool(result.get("deduped", False)),
             wall_time_s=float(result.get("wall_time_s", 0.0)),
+            stats=dict(result.get("stats") or {}),
             raw=result,
         )
 
@@ -215,7 +229,7 @@ class ServiceClient:
     # -- plumbing --------------------------------------------------------
     def _send(self, op: str, payload: dict) -> int:
         rid = next(self._ids)
-        self._sock.sendall(encode_frame(request(op, rid, **payload)))
+        self._sock.sendall(encode_frame(_traced_request(op, rid, payload)))
         return rid
 
     def _recv(self) -> dict:
@@ -289,7 +303,9 @@ class ServiceClient:
                 payload["options"] = wire_options
             rid = next(self._ids)
             rids.append(rid)
-            frames.append(encode_frame(request("solve", rid, **payload)))
+            frames.append(
+                encode_frame(_traced_request("solve", rid, payload))
+            )
         self._sock.sendall(b"".join(frames))
         by_id: dict[Any, dict] = {}
         want = set(rids)
@@ -324,8 +340,18 @@ class ServiceClient:
         )
         return RemoteSession(self, info)
 
-    def metrics(self) -> dict:
-        return self.call("metrics")
+    def metrics(self, *, format: str = "json") -> dict:
+        """The server's ``metrics`` snapshot (or, with
+        ``format="prometheus"``, ``{"text": <exposition text>}``)."""
+        if format == "json":
+            return self.call("metrics")
+        return self.call("metrics", format=format)
+
+    def traces(self, count: int | None = None) -> dict:
+        """The server's flight recorder: its retained slow traces."""
+        if count is None:
+            return self.call("trace")
+        return self.call("trace", count=count)
 
     def shutdown(self) -> dict:
         return self.call("shutdown")
@@ -413,7 +439,7 @@ class AsyncServiceClient:
             raise ConnectionError(
                 f"connection is closed: {self._dead}"
             ) from self._dead
-        self._writer.write(encode_frame(request(op, rid, **payload)))
+        self._writer.write(encode_frame(_traced_request(op, rid, payload)))
         await self._writer.drain()
         envelope = await fut
         return ServiceClient._unwrap(envelope)
@@ -436,8 +462,15 @@ class AsyncServiceClient:
             await self.call("solve", **payload)
         )
 
-    async def metrics(self) -> dict:
-        return await self.call("metrics")
+    async def metrics(self, *, format: str = "json") -> dict:
+        if format == "json":
+            return await self.call("metrics")
+        return await self.call("metrics", format=format)
+
+    async def traces(self, count: int | None = None) -> dict:
+        if count is None:
+            return await self.call("trace")
+        return await self.call("trace", count=count)
 
     async def shutdown(self) -> dict:
         return await self.call("shutdown")

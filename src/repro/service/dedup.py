@@ -25,6 +25,8 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, Hashable, TypeVar
 
+from ..obs.trace import span
+
 __all__ = ["SingleFlight"]
 
 T = TypeVar("T")
@@ -70,7 +72,8 @@ class SingleFlight:
             # awaiting the shared future directly is safe: cancelling a
             # follower cancels only its own await, never the flight
             try:
-                return await existing, True
+                with span("service.dedup.follow"):
+                    return await existing, True
             except asyncio.CancelledError:
                 if not existing.cancelled():
                     raise  # this follower was cancelled, not the flight
@@ -78,7 +81,8 @@ class SingleFlight:
         self._inflight[key] = fut
         self.leaders += 1
         try:
-            result = await thunk()
+            with span("service.dedup.lead"):
+                result = await thunk()
         except BaseException as exc:
             if isinstance(exc, asyncio.CancelledError):
                 # the leader died mid-flight: followers must not hang

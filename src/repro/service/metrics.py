@@ -1,4 +1,4 @@
-"""Service observability: counters and histograms behind one lock.
+"""Service observability: a thin view over :mod:`repro.obs.metrics`.
 
 The server increments named counters (requests per op, errors per
 code, engine solves, dedup shares, shed requests, ...) and observes two
@@ -6,16 +6,29 @@ distributions — per-request solve latency and flushed batch sizes —
 into fixed-bucket histograms.  ``Metrics.snapshot()`` is the payload of
 the protocol's ``metrics`` op: plain ints/floats/lists, JSON-ready.
 
-Everything is guarded by one :class:`threading.Lock`: the asyncio loop
-and the executor threads running engine solves both report in, and a
-histogram observation is a read-modify-write on shared lists.
+Since the unified registry landed, :class:`Metrics` owns no instrument
+state of its own: every counter and histogram lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` under ``service.``-prefixed
+names, which is what also gives the server Prometheus-text exposition
+for free (``metrics`` op with ``format="prometheus"``).  The snapshot
+payload is unchanged — same keys, same shapes — so existing scrapers
+keep working.
+
+Each :class:`Metrics` defaults to a **private** registry rather than
+the process-wide :func:`~repro.obs.metrics.default_registry`: several
+servers routinely share one process (the test harness norm), and their
+counts must not bleed into each other.
+
+**Scrape contract** (see API.md): nothing resets on read.  Counters
+and histogram ``count``/``sum``/``buckets`` are monotonic cumulative —
+concurrent scrapers each compute their own deltas safely.  The
+histogram snapshots additionally carry a ``window`` block with exact
+p50/p99 over the most recent observations.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_left
-from typing import Sequence
+from ..obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["Histogram", "Metrics", "LATENCY_BUCKETS_S", "BATCH_BUCKETS"]
 
@@ -28,110 +41,64 @@ LATENCY_BUCKETS_S = (
 #: Batch-size buckets (requests coalesced per engine call).
 BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
-
-class Histogram:
-    """Fixed upper-bound buckets plus count/sum, Prometheus-style.
-
-    ``observe`` files a value into the first bucket whose bound is
-    ``>= value`` (the last, unbounded bucket catches the rest);
-    ``quantile`` answers p50/p99 queries by walking the cumulative
-    counts and reporting the matched bucket's upper bound — an upper
-    estimate, which is the conservative side for latency reporting.
-
-    Not locked by itself: :class:`Metrics` serialises access.
-    """
-
-    def __init__(self, bounds: Sequence[float]):
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValueError("bounds must be a non-empty ascending sequence")
-        self.bounds = tuple(float(b) for b in bounds)
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-
-    def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q``-quantile
-        (``0 <= q <= 1``); 0.0 when empty, the last finite bound for
-        overflow observations."""
-        if not 0 <= q <= 1:
-            raise ValueError("q must be within [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= rank and c:
-                return (
-                    self.bounds[i]
-                    if i < len(self.bounds)
-                    else self.bounds[-1]
-                )
-        return self.bounds[-1]
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict:
-        """JSON-ready form: ``le``/count pairs (``null`` = +inf)."""
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p99": self.quantile(0.99),
-            "buckets": [
-                [self.bounds[i] if i < len(self.bounds) else None, c]
-                for i, c in enumerate(self.counts)
-            ],
-        }
+#: Registry names of the two service histograms.
+_LATENCY = "service.request_latency_s"
+_BATCH = "service.batch_size"
+_PREFIX = "service."
 
 
 class Metrics:
-    """The server's named counters + the two service histograms."""
+    """The server's named counters + the two service histograms.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
-        self.request_latency_s = Histogram(LATENCY_BUCKETS_S)
-        self.batch_size = Histogram(BATCH_BUCKETS)
+    A facade over a :class:`MetricsRegistry` (private by default, or
+    pass one to share): the historical call surface — ``incr``,
+    ``observe_latency``, ``observe_batch``, ``counter``, ``snapshot`` —
+    is unchanged, while the registry supplies thread safety, cumulative
+    semantics and Prometheus exposition.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.request_latency_s = self.registry.histogram(
+            _LATENCY, LATENCY_BUCKETS_S
+        )
+        self.batch_size = self.registry.histogram(_BATCH, BATCH_BUCKETS)
 
     def incr(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + n
+        self.registry.inc(_PREFIX + name, n)
 
     def observe_latency(self, seconds: float) -> None:
-        with self._lock:
-            self.request_latency_s.observe(seconds)
+        self.registry.observe(_LATENCY, seconds)
 
     def observe_batch(self, size: int) -> None:
-        with self._lock:
-            self.batch_size.observe(float(size))
-            self._counters["batches"] = self._counters.get("batches", 0) + 1
-            self._counters["batched_requests"] = (
-                self._counters.get("batched_requests", 0) + size
-            )
+        self.registry.observe(_BATCH, float(size))
+        self.registry.inc(_PREFIX + "batches")
+        self.registry.inc(_PREFIX + "batched_requests", int(size))
 
     def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        return self.registry.counter_value(_PREFIX + name)
 
     def snapshot(self) -> dict:
-        """Everything, JSON-ready (the ``metrics`` op's result)."""
-        with self._lock:
-            return {
-                "counters": dict(sorted(self._counters.items())),
-                "request_latency_s": self.request_latency_s.snapshot(),
-                "batch_size": self.batch_size.snapshot(),
-            }
+        """Everything, JSON-ready (the ``metrics`` op's result).
+
+        Counter names come back unprefixed, exactly as before the
+        registry rebase.
+        """
+        snap = self.registry.snapshot()
+        return {
+            "counters": {
+                name[len(_PREFIX):]: value
+                for name, value in snap["counters"].items()
+                if name.startswith(_PREFIX)
+            },
+            "request_latency_s": snap["histograms"][_LATENCY],
+            "batch_size": snap["histograms"][_BATCH],
+        }
+
+    def prometheus_text(self) -> str:
+        """The registry's Prometheus text exposition (``service_``
+        instruments under the ``repro_`` prefix)."""
+        return self.registry.prometheus_text()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        with self._lock:
-            return f"Metrics({self._counters!r})"
+        return f"Metrics({self.registry.snapshot()['counters']!r})"

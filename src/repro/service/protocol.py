@@ -12,6 +12,13 @@ Request envelope::
 
     {"v": 1, "id": <any JSON value>, "op": "<op>", ...payload...}
 
+A request may additionally carry an optional ``"trace"`` field —
+``{"id": "<trace id>", "span": "<parent span id>"}`` — propagating the
+client's trace context so server-side spans join the caller's trace
+(see :mod:`repro.obs.trace`).  It is envelope metadata, not payload:
+servers strip it before op dispatch, and servers with tracing disabled
+ignore it entirely.
+
 Response envelope (exactly one per request)::
 
     {"v": 1, "id": <echoed>, "ok": true,  "result": {...}}
@@ -70,6 +77,7 @@ OPS = (
     "session.mutate",
     "session.close",
     "metrics",
+    "trace",
     "shutdown",
 )
 
@@ -239,7 +247,7 @@ def validate_request(obj: dict[str, Any]) -> tuple[str, Any, dict[str, Any]]:
             code=ErrorCode.UNKNOWN_OP,
         )
     payload = {
-        k: v for k, v in obj.items() if k not in ("v", "id", "op")
+        k: v for k, v in obj.items() if k not in ("v", "id", "op", "trace")
     }
     return op, obj["id"], payload
 

@@ -36,7 +36,6 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
-import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any
@@ -46,6 +45,16 @@ from ..api.result import SolveResult
 from ..core.hypergraph import TaskHypergraph
 from ..engine.batch import BatchSolver
 from ..engine.cache import instance_digest
+from ..obs.trace import (
+    RECORDER,
+    attached,
+    carry,
+    disable_tracing,
+    enable_tracing,
+    measured_span,
+    span,
+    tracing_enabled,
+)
 from .batching import MicroBatcher
 from .dedup import SingleFlight
 from .metrics import Metrics
@@ -121,6 +130,15 @@ class SolveServer:
     allow_shutdown:
         Honor the ``shutdown`` op (tests, benches and supervised
         deployments); off by default.
+    tracing:
+        Enable cross-layer span tracing for the server's lifetime
+        (on by default — span cost is negligible next to wire I/O, and
+        the flight recorder is the whole point of running a server you
+        can ask "why was that solve slow?").
+    trace_threshold_s, trace_keep:
+        Flight-recorder knobs: completed traces whose root span lasted
+        at least ``trace_threshold_s`` are retained, newest
+        ``trace_keep`` of them, served by the ``trace`` op.
     """
 
     def __init__(
@@ -135,6 +153,9 @@ class SolveServer:
         per_conn_inflight: int = 256,
         max_sessions: int = 64,
         allow_shutdown: bool = False,
+        tracing: bool = True,
+        trace_threshold_s: float = 0.05,
+        trace_keep: int = 32,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
@@ -160,6 +181,10 @@ class SolveServer:
         self.max_pending = int(max_pending)
         self.per_conn_inflight = int(per_conn_inflight)
         self.allow_shutdown = bool(allow_shutdown)
+        self.tracing = bool(tracing)
+        self.trace_threshold_s = float(trace_threshold_s)
+        self.trace_keep = int(trace_keep)
+        self._trace_prev: bool | None = None
         self._pending = 0
         #: admitted solve requests that have not yet reached the
         #: batcher (nor been exempted as dedup followers) — the
@@ -180,6 +205,12 @@ class SolveServer:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting connections."""
+        if self.tracing:
+            self._trace_prev = tracing_enabled()
+            RECORDER.configure(
+                threshold_s=self.trace_threshold_s, keep=self.trace_keep
+            )
+            enable_tracing()
         self._server = await asyncio.start_server(
             self._serve_connection,
             host=self.host,
@@ -207,6 +238,10 @@ class SolveServer:
         for conn in list(self._conns):
             conn.writer.close()
         await self.batcher.flush_all()
+        if self.tracing and self._trace_prev is not None:
+            if not self._trace_prev:
+                disable_tracing()
+            self._trace_prev = None
         self._stopping.set()
 
     # ------------------------------------------------------------------
@@ -256,9 +291,11 @@ class SolveServer:
 
     async def _dispatch_frame(self, conn: _Conn, line: bytes) -> None:
         req_id: Any = None
+        trace_ctx = None
         try:
             obj = decode_frame(line)
             req_id = obj.get("id")
+            trace_ctx = obj.get("trace")
             op, req_id, payload = validate_request(obj)
         except ProtocolError as exc:
             self.metrics.incr("requests")
@@ -276,15 +313,23 @@ class SolveServer:
         ):
             self.metrics.incr("load_shed")
             self.metrics.incr(f"errors.{ErrorCode.OVERLOADED}")
-            await self._send(
-                conn,
-                error_response(
-                    req_id,
-                    ErrorCode.OVERLOADED,
-                    f"server over capacity ({self._pending} pending, "
-                    f"{conn.inflight} on this connection); retry later",
-                ),
-            )
+            # a shed request still leaves a (tiny) trace: "the server
+            # turned me away" is exactly what a latency investigation
+            # wants to see in the timeline
+            with attached(trace_ctx):
+                with span("service.shed", local_root=True) as sp:
+                    if sp.recording:
+                        sp.set(op=op)
+                    await self._send(
+                        conn,
+                        error_response(
+                            req_id,
+                            ErrorCode.OVERLOADED,
+                            f"server over capacity ({self._pending} "
+                            f"pending, {conn.inflight} on this "
+                            f"connection); retry later",
+                        ),
+                    )
             return
         ticket: _SolveTicket | None = None
         if admitted:
@@ -296,7 +341,7 @@ class SolveServer:
                 self._solve_expected += 1
                 ticket = _SolveTicket()
         task = asyncio.get_running_loop().create_task(
-            self._handle(conn, op, req_id, payload, ticket)
+            self._handle(conn, op, req_id, payload, ticket, trace_ctx)
         )
         conn.tasks.add(task)
 
@@ -337,17 +382,28 @@ class SolveServer:
         req_id: Any,
         payload: dict,
         ticket: _SolveTicket | None,
+        trace_ctx: dict | None = None,
     ) -> None:
-        try:
-            result = await self._execute(conn, op, payload, ticket)
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:
-            code = error_code_for(exc)
-            self.metrics.incr(f"errors.{code}")
-            await self._send(conn, error_response(req_id, code, str(exc)))
-        else:
-            await self._send(conn, ok_response(req_id, result))
+        # ``local_root``: the client's envelope may name a remote
+        # parent span, but *this* span is the one that completes the
+        # trace in the server's recorder — the remote root never
+        # reports here
+        with attached(trace_ctx):
+            with span("service.request", local_root=True) as sp:
+                if sp.recording:
+                    sp.set(op=op, conn=conn.id)
+                try:
+                    result = await self._execute(conn, op, payload, ticket)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    code = error_code_for(exc)
+                    self.metrics.incr(f"errors.{code}")
+                    await self._send(
+                        conn, error_response(req_id, code, str(exc))
+                    )
+                else:
+                    await self._send(conn, ok_response(req_id, result))
 
     async def _execute(
         self,
@@ -396,7 +452,9 @@ class SolveServer:
                 ),
             )
         if op == "metrics":
-            return self._op_metrics()
+            return self._op_metrics(payload)
+        if op == "trace":
+            return self._op_trace(payload)
         if op == "shutdown":
             if not self.allow_shutdown:
                 raise ProtocolError(
@@ -417,37 +475,45 @@ class SolveServer:
     async def _op_solve(
         self, payload: dict, ticket: _SolveTicket | None
     ) -> dict:
-        t0 = time.perf_counter()
-        # parse off-loop: deserializing a multi-MB instance builds
-        # numpy arrays and would stall every other connection.  It must
-        # also happen *before* the ticket is consumed — the request
-        # still counts toward the batcher's expected-arrivals signal
-        # while it awaits the executor.
-        hg = await asyncio.get_running_loop().run_in_executor(
-            None, partial(self._parse_instance, payload.get("instance"))
-        )
-        # this request has arrived at the solving layer: it no longer
-        # counts toward the batcher's expected-arrivals signal (there
-        # are no awaits between here and its enqueue below, so the
-        # window where it is counted nowhere cannot be observed)
-        self._consume(ticket)
-        normalized, token = self._normalized_options(
-            payload.get("options")
-        )
-        key = (instance_digest(hg), *token)
-        if key in self.flight:
-            # a follower never enqueues: its exit from the expected
-            # count may have just made the queued requests provably
-            # alone, which only the batcher can act on
-            self.batcher.maybe_flush()
-        wire, shared = await self.flight.run(
-            key, lambda: self._solve_batched(hg, normalized, token)
-        )
-        if shared:
-            self.metrics.incr("dedup_followers")
-        elif wire["cache_hit"]:
-            self.metrics.incr("cache_hits")
-        self.metrics.observe_latency(time.perf_counter() - t0)
+        # ``measured_span`` always times — its duration feeds the
+        # latency histogram whether or not tracing is enabled
+        with measured_span("service.op.solve") as op_sp:
+            # parse off-loop: deserializing a multi-MB instance builds
+            # numpy arrays and would stall every other connection.  It
+            # must also happen *before* the ticket is consumed — the
+            # request still counts toward the batcher's
+            # expected-arrivals signal while it awaits the executor.
+            hg = await asyncio.get_running_loop().run_in_executor(
+                None,
+                carry(
+                    partial(self._parse_instance, payload.get("instance"))
+                ),
+            )
+            # this request has arrived at the solving layer: it no
+            # longer counts toward the batcher's expected-arrivals
+            # signal (there are no awaits between here and its enqueue
+            # below, so the window where it is counted nowhere cannot
+            # be observed)
+            self._consume(ticket)
+            normalized, token = self._normalized_options(
+                payload.get("options")
+            )
+            key = (instance_digest(hg), *token)
+            if key in self.flight:
+                # a follower never enqueues: its exit from the expected
+                # count may have just made the queued requests provably
+                # alone, which only the batcher can act on
+                self.batcher.maybe_flush()
+            wire, shared = await self.flight.run(
+                key, lambda: self._solve_batched(hg, normalized, token)
+            )
+            if shared:
+                self.metrics.incr("dedup_followers")
+            elif wire["cache_hit"]:
+                self.metrics.incr("cache_hits")
+            if op_sp.recording:
+                op_sp.set(deduped=shared, cache_hit=wire["cache_hit"])
+        self.metrics.observe_latency(op_sp.duration_s)
         result = dict(wire)
         result["deduped"] = shared
         return result
@@ -470,6 +536,7 @@ class SolveServer:
             ),
             "cache_hit": bool(result.cache_hit),
             "wall_time_s": float(result.wall_time_s),
+            "stats": dict(result.stats),
         }
 
     @staticmethod
@@ -531,8 +598,34 @@ class SolveServer:
             fields["portfolio"] = tuple(fields["portfolio"])
         return SolveOptions(**fields)
 
-    # -- metrics ---------------------------------------------------------
-    def _op_metrics(self) -> dict:
+    # -- observability ---------------------------------------------------
+    def _op_trace(self, payload: dict) -> dict:
+        """The ``trace`` op: the flight recorder's retained slow traces."""
+        count = payload.get("count")
+        if count is not None and (
+            isinstance(count, bool) or not isinstance(count, int)
+        ):
+            raise ProtocolError(
+                "'count' must be an integer",
+                code=ErrorCode.BAD_REQUEST,
+            )
+        return {
+            "enabled": tracing_enabled(),
+            "threshold_s": RECORDER.threshold_s,
+            "keep": RECORDER.keep,
+            "traces": RECORDER.flight(count),
+        }
+
+    def _op_metrics(self, payload: dict | None = None) -> dict:
+        fmt = (payload or {}).get("format", "json")
+        if fmt == "prometheus":
+            return {"text": self.metrics.prometheus_text()}
+        if fmt != "json":
+            raise ProtocolError(
+                f"unknown metrics format {fmt!r}; "
+                "known: 'json', 'prometheus'",
+                code=ErrorCode.BAD_REQUEST,
+            )
         snap = self.metrics.snapshot()
         snap["dedup"] = {
             "leaders": self.flight.leaders,

@@ -1,0 +1,29 @@
+# repro: domain=kernel
+"""Known-bad span-hygiene fixture: every violation class.
+
+A span factory called inside a kernel-domain module, and manual
+``.start()``/``.end()`` lifetimes (bound and chained) that leak on any
+early exit.
+"""
+
+from repro.obs.trace import measured_span, span
+
+
+def hot_loop(edges):
+    total = 0
+    for e in edges:
+        with span("kernels.edge"):  # line: kernel-span
+            total += e
+    return total
+
+
+def leaky(work):
+    sp = measured_span("engine.work")  # line: kernel-span-2
+    sp.start()  # line: manual-start
+    out = work()
+    sp.end()  # line: manual-end
+    return out
+
+
+def chained():
+    return span("engine.oneshot").start()  # line: chained-start

@@ -1,0 +1,22 @@
+"""Known-good span-hygiene fixture: scoped spans in a non-kernel
+module, and ``.start()`` calls on things that are not spans."""
+
+import threading
+
+from repro.obs.trace import measured_span, span
+
+
+def scoped(solve):
+    with span("service.request", op="solve") as sp:
+        sp.set(conn=1)
+        with measured_span("service.op.solve") as op_sp:
+            result = solve()
+        return result, op_sp.duration_s
+
+
+def unrelated_starts(pool):
+    timer = threading.Timer(1.0, lambda: None)
+    timer.start()  # a Timer, not a span: must not be flagged
+    worker = threading.Thread(target=lambda: None)
+    worker.start()
+    return pool.start()

@@ -28,6 +28,7 @@ from repro.analysis.contracts import ContractSyncRule
 from repro.analysis.deprecation import DeprecationRule
 from repro.analysis.lockguard import LockGuardRule
 from repro.analysis.purity import KernelPurityRule
+from repro.analysis.spanhygiene import SpanHygieneRule
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -216,6 +217,28 @@ class TestDeprecation:
 
 
 # ---------------------------------------------------------------------------
+# span-hygiene
+# ---------------------------------------------------------------------------
+
+class TestSpanHygiene:
+    def test_flags_spans_in_kernel_domain(self):
+        report = run_rule(SpanHygieneRule(), "spanhygiene_bad.py")
+        lines = lines_of(report, "span-hygiene")
+        assert marker_line("spanhygiene_bad.py", "kernel-span") in lines
+        assert marker_line("spanhygiene_bad.py", "kernel-span-2") in lines
+
+    def test_flags_manual_start_end(self):
+        report = run_rule(SpanHygieneRule(), "spanhygiene_bad.py")
+        lines = lines_of(report, "span-hygiene")
+        for name in ("manual-start", "manual-end", "chained-start"):
+            assert marker_line("spanhygiene_bad.py", name) in lines, name
+
+    def test_scoped_spans_and_unrelated_starts_are_clean(self):
+        report = run_rule(SpanHygieneRule(), "spanhygiene_good.py")
+        assert report.clean, [str(f) for f in report.findings]
+
+
+# ---------------------------------------------------------------------------
 # suppression mechanics
 # ---------------------------------------------------------------------------
 
@@ -277,8 +300,10 @@ class TestSelfCheck:
         assert report.clean, "\n".join(str(f) for f in report.findings)
 
     def test_suppression_baseline_is_pinned(self):
-        # the only intentional exemptions: client-side ConnectionError
-        # raises (they surface to the local caller, never the wire).
+        # the intentional exemptions: client-side ConnectionError raises
+        # (they surface to the local caller, never the wire), and the
+        # blessed once-per-call boundary spans in kernel-domain modules
+        # (compile on digest miss, patch emit tiers, dynamic repair).
         # A new suppression anywhere in src/repro must update this.
         baseline = {}
         for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
@@ -291,6 +316,9 @@ class TestSelfCheck:
                 baseline[key] = baseline.get(key, 0) + 1
         assert baseline == {
             ("src/repro/service/client.py", ("contract-sync",)): 4,
+            ("src/repro/kernels/compiled.py", ("span-hygiene",)): 1,
+            ("src/repro/kernels/patch.py", ("span-hygiene",)): 4,
+            ("src/repro/dynamic/solver.py", ("span-hygiene",)): 2,
         }
 
 
