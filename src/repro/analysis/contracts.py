@@ -53,6 +53,7 @@ CODED_EXCEPTIONS = frozenset({
     # repro.service.protocol
     "ServiceError", "ProtocolError", "OverloadedError",
     "SessionNotFoundError", "SessionLimitError", "RemoteError",
+    "WorkerLostError", "SessionRelocatedError",
     # mapped to "bad-request" by error_code_for
     "ValueError", "TypeError", "KeyError",
 })

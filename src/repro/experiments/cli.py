@@ -191,6 +191,12 @@ def main(argv: list[str] | None = None) -> int:
         "--allow-shutdown", action="store_true",
         help="honor the protocol 'shutdown' op (supervised deployments)",
     )
+    sv.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="shard solving across N supervised worker processes "
+             "(consistent-hash routed, sessions pinned; 0 = solve "
+             "in-process, default)",
+    )
 
     sb = subs.add_parser(
         "submit",
@@ -367,9 +373,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         import asyncio
 
-        from ..service import SolveServer
+        from ..service import ShardedSolveServer, SolveServer
 
-        server = SolveServer(
+        config = dict(
             host=args.host,
             port=args.port,
             max_batch=args.max_batch,
@@ -378,14 +384,21 @@ def main(argv: list[str] | None = None) -> int:
             max_sessions=args.max_sessions,
             allow_shutdown=args.allow_shutdown,
         )
+        if args.workers > 0:
+            server = ShardedSolveServer(n_workers=args.workers, **config)
+        else:
+            server = SolveServer(**config)
 
         async def _serve():
             await server.start()
+            sharding = (
+                f", {args.workers} workers" if args.workers > 0 else ""
+            )
             print(
                 f"semimatch service listening on "
                 f"{server.host}:{server.port} "
                 f"(batch<= {args.max_batch}, "
-                f"window {args.batch_window_ms:g}ms)",
+                f"window {args.batch_window_ms:g}ms{sharding})",
                 flush=True,
             )
             await server.serve_forever()

@@ -17,7 +17,11 @@ instead of across one process's loop —
   :class:`~repro.dynamic.IncrementalSolver`;
 * **admission control** sheds overload with a typed error instead of
   queueing into timeouts, and :class:`Metrics` serves counters and
-  latency/batch-size histograms over the same protocol.
+  latency/batch-size histograms over the same protocol;
+* **sharding** (:class:`ShardedSolveServer`) puts the same front-end
+  over a supervised pool of solver worker processes, routed by
+  consistent hash of the engine cache key so each worker's caches stay
+  warm on its slice of the keyspace — ``semimatch serve --workers N``.
 
 Quick start
 -----------
@@ -59,12 +63,20 @@ from .protocol import (
     ServiceError,
     SessionLimitError,
     SessionNotFoundError,
+    SessionRelocatedError,
+    WorkerLostError,
 )
 from .server import SolveServer
 from .sessions import Session, SessionManager
+from .shard import HashRing, ShardedSolveServer
+from .supervisor import Supervisor, WorkerSpec
 
 __all__ = [
     "SolveServer",
+    "ShardedSolveServer",
+    "HashRing",
+    "Supervisor",
+    "WorkerSpec",
     "ServiceClient",
     "AsyncServiceClient",
     "RemoteSolveResult",
@@ -86,6 +98,8 @@ __all__ = [
     "RemoteError",
     "SessionNotFoundError",
     "SessionLimitError",
+    "WorkerLostError",
+    "SessionRelocatedError",
     "instance_to_wire",
     "options_to_wire",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
@@ -36,11 +37,19 @@ from ..obs.trace import wire_context
 from ..sched.model import SchedulingProblem
 from .protocol import (
     MAX_FRAME_BYTES,
+    ErrorCode,
     RemoteError,
     decode_frame,
     encode_frame,
     request,
 )
+
+#: how many times the clients re-send a solve answered ``worker-lost``
+#: before giving up.  Solves are deterministic and side-effect free, so
+#: the retry is always safe; the sharded front-end routes the re-send
+#: around the dead worker (or onto its restarted successor), and a
+#: couple of attempts outlive any single crash.
+WORKER_LOST_RETRIES = 3
 
 __all__ = [
     "RemoteSolveResult",
@@ -49,6 +58,7 @@ __all__ = [
     "AsyncServiceClient",
     "instance_to_wire",
     "options_to_wire",
+    "WORKER_LOST_RETRIES",
 ]
 
 
@@ -269,20 +279,40 @@ class ServiceClient:
         instance: Any,
         *,
         options: SolveOptions | None = None,
+        retries: int = WORKER_LOST_RETRIES,
         **fields: Any,
     ) -> RemoteSolveResult:
-        """Solve one instance remotely."""
+        """Solve one instance remotely.
+
+        A ``worker-lost`` answer (a sharded endpoint's worker died with
+        this request in flight) is retried up to ``retries`` times —
+        solves are deterministic and side-effect free, so the re-send
+        is always safe.  Every other error propagates untouched."""
         payload: dict[str, Any] = {"instance": instance_to_wire(instance)}
         wire_options = options_to_wire(options, **fields)
         if wire_options is not None:
             payload["options"] = wire_options
-        return RemoteSolveResult.from_wire(self.call("solve", **payload))
+        attempt = 0
+        while True:
+            try:
+                return RemoteSolveResult.from_wire(
+                    self.call("solve", **payload)
+                )
+            except RemoteError as exc:
+                if exc.code != ErrorCode.WORKER_LOST or attempt >= retries:
+                    raise
+                attempt += 1
+                # brief linear backoff: restart takes the supervisor a
+                # few tens of milliseconds, and the ring routes around
+                # the dead slot meanwhile
+                time.sleep(0.05 * attempt)
 
     def solve_pipelined(
         self,
         instances: Sequence[Any],
         *,
         options: SolveOptions | None = None,
+        retries: int = WORKER_LOST_RETRIES,
         **fields: Any,
     ) -> list[RemoteSolveResult]:
         """Send every request up front, then collect the out-of-order
@@ -291,33 +321,56 @@ class ServiceClient:
         This is the sync client's throughput mode: the whole burst goes
         out as one write, so the server sees it in as few reads as the
         transport allows and is free to micro-batch and dedup across
-        all of it."""
+        all of it.  Requests answered ``worker-lost`` are re-sent (as a
+        fresh burst) up to ``retries`` rounds, same contract as
+        :meth:`solve`."""
         wire_options = options_to_wire(options, **fields)
-        rids = []
-        frames = []
+        payloads: list[dict[str, Any]] = []
         for instance in instances:
             payload: dict[str, Any] = {
                 "instance": instance_to_wire(instance)
             }
             if wire_options is not None:
                 payload["options"] = wire_options
-            rid = next(self._ids)
-            rids.append(rid)
-            frames.append(
-                encode_frame(_traced_request("solve", rid, payload))
-            )
-        self._sock.sendall(b"".join(frames))
-        by_id: dict[Any, dict] = {}
-        want = set(rids)
-        while want:
-            envelope = self._recv()
-            rid = envelope.get("id")
-            if rid in want:
+            payloads.append(payload)
+
+        envelopes: dict[int, dict] = {}
+        pending = list(range(len(payloads)))
+        for attempt in range(retries + 1):
+            rid_to_index = {}
+            frames = []
+            for index in pending:
+                rid = next(self._ids)
+                rid_to_index[rid] = index
+                frames.append(
+                    encode_frame(
+                        _traced_request("solve", rid, payloads[index])
+                    )
+                )
+            self._sock.sendall(b"".join(frames))
+            lost: list[int] = []
+            want = set(rid_to_index)
+            while want:
+                envelope = self._recv()
+                rid = envelope.get("id")
+                if rid not in want:
+                    continue
                 want.discard(rid)
-                by_id[rid] = envelope
+                error = envelope.get("error") or {}
+                if (
+                    not envelope.get("ok")
+                    and error.get("code") == ErrorCode.WORKER_LOST
+                    and attempt < retries
+                ):
+                    lost.append(rid_to_index[rid])
+                else:
+                    envelopes[rid_to_index[rid]] = envelope
+            if not lost:
+                break
+            pending = sorted(lost)
         return [
-            RemoteSolveResult.from_wire(self._unwrap(by_id[rid]))
-            for rid in rids
+            RemoteSolveResult.from_wire(self._unwrap(envelopes[index]))
+            for index in range(len(payloads))
         ]
 
     def open_session(
@@ -411,16 +464,25 @@ class AsyncServiceClient:
                 fut = self._waiters.pop(envelope.get("id"), None)
                 if fut is not None and not fut.done():
                     fut.set_result(envelope)
+        except asyncio.CancelledError:
+            # close() cancels this task; CancelledError is a
+            # BaseException, so without this clause in-flight waiters
+            # would never be failed and their callers would hang
+            self._fail_waiters(ConnectionError("connection closed locally"))
+            raise
         except Exception as exc:
-            # flag first, then fail the waiters: a call() racing this
-            # cleanup either registered in time to be failed here, or
-            # sees the flag on its post-registration check
-            self._dead = exc
-            for fut in self._waiters.values():
-                if not fut.done():
-                    fut.set_exception(exc)
-                    fut.exception()
-            self._waiters.clear()
+            self._fail_waiters(exc)
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        # flag first, then fail the waiters: a call() racing this
+        # cleanup either registered in time to be failed here, or
+        # sees the flag on its post-registration check
+        self._dead = exc
+        for fut in self._waiters.values():
+            if not fut.done():
+                fut.set_exception(exc)
+                fut.exception()
+        self._waiters.clear()
 
     async def call(self, op: str, **payload: Any) -> dict:
         if self._dead is not None:
@@ -452,15 +514,27 @@ class AsyncServiceClient:
         instance: Any,
         *,
         options: SolveOptions | None = None,
+        retries: int = WORKER_LOST_RETRIES,
         **fields: Any,
     ) -> RemoteSolveResult:
+        """Solve one instance remotely, retrying ``worker-lost``
+        answers up to ``retries`` times (see :meth:`ServiceClient
+        .solve` — same contract)."""
         payload: dict[str, Any] = {"instance": instance_to_wire(instance)}
         wire_options = options_to_wire(options, **fields)
         if wire_options is not None:
             payload["options"] = wire_options
-        return RemoteSolveResult.from_wire(
-            await self.call("solve", **payload)
-        )
+        attempt = 0
+        while True:
+            try:
+                return RemoteSolveResult.from_wire(
+                    await self.call("solve", **payload)
+                )
+            except RemoteError as exc:
+                if exc.code != ErrorCode.WORKER_LOST or attempt >= retries:
+                    raise
+                attempt += 1
+                await asyncio.sleep(0.05 * attempt)
 
     async def metrics(self, *, format: str = "json") -> dict:
         if format == "json":

@@ -64,11 +64,18 @@ class SingleFlight:
         followers down with it: they retry the key — usually becoming a
         leader whose solve is answered by the result cache.
         """
+        # one logical call counts as at most one follower, however many
+        # retry iterations a cancelled leader forces it through —
+        # ``dedup_followers`` must report deduped *requests*, not loop
+        # turns, or the metric overstates the dedup benefit
+        counted = False
         while True:
             existing = self._inflight.get(key)
             if existing is None:
                 break
-            self.followers += 1
+            if not counted:
+                self.followers += 1
+                counted = True
             # awaiting the shared future directly is safe: cancelling a
             # follower cancels only its own await, never the flight
             try:

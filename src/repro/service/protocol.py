@@ -52,6 +52,8 @@ __all__ = [
     "OverloadedError",
     "SessionNotFoundError",
     "SessionLimitError",
+    "WorkerLostError",
+    "SessionRelocatedError",
     "RemoteError",
     "encode_frame",
     "decode_frame",
@@ -107,6 +109,8 @@ class ErrorCode:
     OVERLOADED = "overloaded"
     SESSION_NOT_FOUND = "session-not-found"
     SESSION_LIMIT = "session-limit"
+    WORKER_LOST = "worker-lost"
+    SESSION_RELOCATED = "session-relocated"
     INTERNAL = "internal"
 
 
@@ -152,6 +156,24 @@ class SessionLimitError(ServiceError):
     """The server is hosting its maximum number of sessions."""
 
     code = ErrorCode.SESSION_LIMIT
+
+
+class WorkerLostError(ServiceError):
+    """A shard worker died (or became unreachable) while this request
+    was in flight on it.  Solves are deterministic and side-effect
+    free, so retrying against the (restarted or rerouted) pool is
+    always safe — the clients do so automatically."""
+
+    code = ErrorCode.WORKER_LOST
+
+
+class SessionRelocatedError(ServiceError):
+    """The worker that hosted this session was drained or lost; the
+    server-side session state is gone.  Re-open the session from the
+    client's own baseline (sessions are pinned to one worker for their
+    lifetime and are never migrated)."""
+
+    code = ErrorCode.SESSION_RELOCATED
 
 
 class RemoteError(ServiceError):

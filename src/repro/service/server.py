@@ -70,7 +70,11 @@ from .protocol import (
     validate_request,
 )
 from .sessions import SessionManager
-from .wire import hypergraph_from_wire
+from .wire import (
+    hypergraph_from_descriptor,
+    hypergraph_from_wire,
+    is_descriptor,
+)
 
 __all__ = ["SolveServer"]
 
@@ -130,6 +134,11 @@ class SolveServer:
     allow_shutdown:
         Honor the ``shutdown`` op (tests, benches and supervised
         deployments); off by default.
+    accept_shm_instances:
+        Accept ``solve`` instances as shared-memory descriptors
+        (:mod:`repro.engine.transport`) and attach them zero-copy.
+        Only the sharded front-end's workers turn this on — a public
+        endpoint must not let clients name arbitrary segments.
     tracing:
         Enable cross-layer span tracing for the server's lifetime
         (on by default — span cost is negligible next to wire I/O, and
@@ -153,6 +162,7 @@ class SolveServer:
         per_conn_inflight: int = 256,
         max_sessions: int = 64,
         allow_shutdown: bool = False,
+        accept_shm_instances: bool = False,
         tracing: bool = True,
         trace_threshold_s: float = 0.05,
         trace_keep: int = 32,
@@ -181,6 +191,7 @@ class SolveServer:
         self.max_pending = int(max_pending)
         self.per_conn_inflight = int(per_conn_inflight)
         self.allow_shutdown = bool(allow_shutdown)
+        self.accept_shm_instances = bool(accept_shm_instances)
         self.tracing = bool(tracing)
         self.trace_threshold_s = float(trace_threshold_s)
         self.trace_keep = int(trace_keep)
@@ -225,19 +236,39 @@ class SolveServer:
             await self.start()
         await self._stopping.wait()
 
-    async def stop(self) -> None:
-        """Stop accepting, flush in-flight batches, release sessions.
+    async def stop(self, *, drain_s: float = 5.0) -> None:
+        """Stop accepting, drain in-flight handlers, release sessions.
 
-        Lingering connections are closed outright rather than awaited:
-        on Python >= 3.12.1 ``Server.wait_closed`` blocks until every
-        client disconnects, which would let one idle client hold
-        shutdown hostage."""
+        Drain is **bounded**: in-flight handler tasks get up to
+        ``drain_s`` to finish (their responses still go out), then the
+        stragglers are cancelled and awaited — no handler task survives
+        ``stop()``, so nothing keeps mutating ``_pending`` or session
+        state after it returns.
+
+        Lingering connections are then closed outright rather than
+        awaited: on Python >= 3.12.1 ``Server.wait_closed`` blocks
+        until every client disconnects, which would let one idle client
+        hold shutdown hostage."""
         if self._server is not None:
             self._server.close()
             self._server = None
+        # resolve queued batch futures first: most handlers are blocked
+        # exactly there, and flushing lets them finish inside the drain
+        # window instead of being cancelled mid-solve
+        await self.batcher.flush_all()
+        tasks = {t for conn in list(self._conns) for t in conn.tasks}
+        tasks.discard(asyncio.current_task())
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=drain_s)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        # a drained handler may have enqueued new batch work (admitted
+        # before the listener closed): flush again so nothing dangles
+        await self.batcher.flush_all()
         for conn in list(self._conns):
             conn.writer.close()
-        await self.batcher.flush_all()
         if self.tracing and self._trace_prev is not None:
             if not self._trace_prev:
                 disable_tracing()
@@ -280,14 +311,31 @@ class SolveServer:
             self._conns.discard(conn)
             for task in list(conn.tasks):
                 task.cancel()
-            closed = self.sessions.close_owned(conn.id)
-            if closed:
-                self.metrics.incr("sessions_reclaimed", closed)
+            try:
+                await self._reclaim_conn(conn)
+            except asyncio.CancelledError:
+                # loop teardown (asyncio.run cancelling leftovers)
+                # caught us mid-reclaim: the sessions die with the
+                # process, and finishing normally keeps the streams
+                # done-callback from logging a spurious CancelledError
+                pass
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _reclaim_conn(self, conn: _Conn) -> None:
+        """Release everything a dropped connection owned.
+
+        Runs in the executor: ``close_owned`` takes each session's lock
+        to serialise against an in-flight ``mutate`` batch, and that
+        wait must never stall the event loop."""
+        closed = await asyncio.get_running_loop().run_in_executor(
+            None, partial(self.sessions.close_owned, conn.id)
+        )
+        if closed:
+            self.metrics.incr("sessions_reclaimed", closed)
 
     async def _dispatch_frame(self, conn: _Conn, line: bytes) -> None:
         req_id: Any = None
@@ -539,8 +587,18 @@ class SolveServer:
             "stats": dict(result.stats),
         }
 
-    @staticmethod
-    def _parse_instance(data: Any) -> TaskHypergraph:
+    def _parse_instance(self, data: Any) -> TaskHypergraph:
+        if is_descriptor(data):
+            # shard workers attach the front-end's shared-memory export
+            # zero-copy; every other endpoint rejects descriptors — an
+            # external client must not get to name arbitrary segments
+            if not self.accept_shm_instances:
+                raise ProtocolError(
+                    "shared-memory instance descriptors are not "
+                    "accepted on this endpoint",
+                    code=ErrorCode.BAD_REQUEST,
+                )
+            return hypergraph_from_descriptor(data)
         return hypergraph_from_wire(data)
 
     _OPTION_FIELDS = (

@@ -179,7 +179,14 @@ class SessionManager:
         return out
 
     def close_owned(self, owner: int) -> int:
-        """Reclaim every session of a dropped connection."""
+        """Reclaim every session of a dropped connection.
+
+        Taking each session's lock before detaching serialises the
+        reclaim against an in-flight ``mutate`` batch still running in
+        an executor thread: the batch finishes (or rolls back) first,
+        and only then is the solver detached — never mid-apply.  The
+        caller must therefore run this off the event loop (the server
+        does, via ``_reclaim_conn``)."""
         with self._lock:
             owned = [
                 s for s in self._sessions.values() if s.owner == owner
@@ -187,5 +194,6 @@ class SessionManager:
             for s in owned:
                 del self._sessions[s.id]
         for s in owned:
-            s.solver.detach()
+            with s.lock:
+                s.solver.detach()
         return len(owned)

@@ -301,8 +301,10 @@ class TestSelfCheck:
 
     def test_suppression_baseline_is_pinned(self):
         # the intentional exemptions: client-side ConnectionError raises
-        # (they surface to the local caller, never the wire), and the
-        # blessed once-per-call boundary spans in kernel-domain modules
+        # (they surface to the local caller, never the wire), the
+        # supervisor's in-process spawn/handshake errors (same — local
+        # to the front-end, never serialized), and the blessed
+        # once-per-call boundary spans in kernel-domain modules
         # (compile on digest miss, patch emit tiers, dynamic repair).
         # A new suppression anywhere in src/repro must update this.
         baseline = {}
@@ -316,6 +318,7 @@ class TestSelfCheck:
                 baseline[key] = baseline.get(key, 0) + 1
         assert baseline == {
             ("src/repro/service/client.py", ("contract-sync",)): 4,
+            ("src/repro/service/supervisor.py", ("contract-sync",)): 2,
             ("src/repro/kernels/compiled.py", ("span-hygiene",)): 1,
             ("src/repro/kernels/patch.py", ("span-hygiene",)): 4,
             ("src/repro/dynamic/solver.py", ("span-hygiene",)): 2,

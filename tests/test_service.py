@@ -14,6 +14,7 @@ import asyncio
 import json
 import socket
 import threading
+import time
 from contextlib import contextmanager
 
 import numpy as np
@@ -364,6 +365,48 @@ class TestSingleFlight:
             assert server.flight.leaders == 2
             assert server.flight.followers == 0
 
+    def test_cancelled_leader_counts_followers_once(self):
+        """A follower that outlives a cancelled leader retries the key,
+        possibly following again — but ``followers`` must count logical
+        deduped *requests*, so one call contributes at most one,
+        however many retry turns the cancellations force it through.
+        (Regression: the counter used to live inside the retry loop and
+        overstated the dedup benefit.)"""
+        from repro.service.dedup import SingleFlight
+
+        async def scenario():
+            sf = SingleFlight()
+            loop = asyncio.get_running_loop()
+
+            async def thunk():
+                return 42
+
+            # a fake in-flight leader the follower latches onto
+            f1 = loop.create_future()
+            sf._inflight["k"] = f1
+            follower = asyncio.create_task(sf.run("k", thunk))
+            await asyncio.sleep(0)  # follower is awaiting f1
+            assert sf.followers == 1
+            # leader 1 is cancelled, but a new leader wins the race
+            # before the follower resumes: it must follow again without
+            # counting itself twice
+            f1.cancel()
+            f2 = loop.create_future()
+            sf._inflight["k"] = f2
+            await asyncio.sleep(0)  # follower retried onto f2
+            # leader 2 dies too and nobody replaces it: the follower's
+            # next retry finds clear air and leads its own flight
+            f2.cancel()
+            del sf._inflight["k"]
+            result = await follower
+            return sf, result
+
+        sf, result = asyncio.run(scenario())
+        assert result == (42, False)  # led its own flight in the end
+        assert sf.followers == 1  # one logical call, one follower tick
+        assert sf.leaders == 1
+        assert len(sf) == 0
+
 
 # ---------------------------------------------------------------------------
 # sessions
@@ -512,6 +555,155 @@ class TestSessions:
                 threading.Event().wait(0.02)
             assert len(server.sessions) == 0
 
+    def test_conn_drop_mid_mutate_reclaims_exactly_once(self):
+        """A connection dropped while its ``session.mutate`` batch is
+        still applying: reclamation must wait for the batch (it holds
+        the session lock), then detach — session gone, and
+        ``sessions_reclaimed`` counts it exactly once, through exactly
+        one of the two close paths."""
+        (hg,) = small_instances(1)
+        with running_server() as (server, _loop):
+            entered = threading.Event()
+            release = threading.Event()
+            real_mutate = server.sessions.mutate
+
+            def slow_mutate(*args, **kwargs):
+                entered.set()
+                assert release.wait(30), "test never released the batch"
+                return real_mutate(*args, **kwargs)
+
+            server.sessions.mutate = slow_mutate
+            try:
+                client = ServiceClient(port=server.port)
+                session = client.open_session(hg)
+                assert len(server.sessions) == 1
+                # fire the mutate, then vanish without reading the
+                # answer — the batch is parked inside slow_mutate
+                client._sock.sendall(
+                    encode_frame(
+                        request(
+                            "session.mutate",
+                            99,
+                            session=session.id,
+                            mutations=[],
+                        )
+                    )
+                )
+                assert entered.wait(10), "mutate never reached the manager"
+                client.close()
+                threading.Event().wait(0.1)  # let the drop be noticed
+                # reclamation may already have unregistered the session,
+                # but the detach serialises on the session lock — the
+                # parked batch still owns a live solver and must finish
+                # (or roll back) before the reclaim can touch it
+                release.set()
+                deadline = time.monotonic() + 10
+                while len(server.sessions) and time.monotonic() < deadline:
+                    threading.Event().wait(0.02)
+                assert len(server.sessions) == 0
+                deadline = time.monotonic() + 10
+                while (
+                    server.metrics.counter("sessions_reclaimed") == 0
+                    and time.monotonic() < deadline
+                ):
+                    threading.Event().wait(0.02)
+                assert server.metrics.counter("sessions_reclaimed") == 1
+            finally:
+                release.set()
+                server.sessions.mutate = real_mutate
+
+
+# ---------------------------------------------------------------------------
+# shutdown drain
+# ---------------------------------------------------------------------------
+class TestShutdownDrain:
+    def test_stop_drains_inflight_and_delivers_response(self):
+        """``stop()`` lets a briefly-busy handler finish inside the
+        drain window and its response still reaches the client."""
+        (hg,) = small_instances(1)
+        with running_server() as (server, loop):
+            real_open = server.sessions.open
+
+            def slow_open(*args, **kwargs):
+                threading.Event().wait(0.3)
+                return real_open(*args, **kwargs)
+
+            server.sessions.open = slow_open
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=30
+            )
+            rfile = sock.makefile("rb")
+            try:
+                from repro.service import instance_to_wire
+
+                sock.sendall(
+                    encode_frame(
+                        request(
+                            "session.open", 1, baseline=instance_to_wire(hg)
+                        )
+                    )
+                )
+                threading.Event().wait(0.05)  # request is in flight
+                inflight = {
+                    t for c in list(server._conns) for t in c.tasks
+                }
+                assert inflight, "handler never started"
+                t0 = time.monotonic()
+                on_loop(loop, server.stop(drain_s=5.0), timeout=30)
+                assert time.monotonic() - t0 < 5.0
+                # the drain contract: no handler task survives stop()
+                assert all(t.done() for t in inflight)
+                envelope = decode_frame(rfile.readline())
+                assert envelope["ok"] and envelope["id"] == 1
+            finally:
+                rfile.close()
+                sock.close()
+                server.sessions.open = real_open
+
+    def test_stop_is_bounded_when_a_handler_hangs(self):
+        """A handler that never finishes cannot hold ``stop()``
+        hostage: after ``drain_s`` it is cancelled and awaited, and
+        ``stop()`` returns."""
+        (hg,) = small_instances(1)
+        with running_server() as (server, loop):
+            release = threading.Event()
+            real_open = server.sessions.open
+
+            def hung_open(*args, **kwargs):
+                release.wait(60)
+                return real_open(*args, **kwargs)
+
+            server.sessions.open = hung_open
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=30
+            )
+            try:
+                from repro.service import instance_to_wire
+
+                sock.sendall(
+                    encode_frame(
+                        request(
+                            "session.open", 1, baseline=instance_to_wire(hg)
+                        )
+                    )
+                )
+                threading.Event().wait(0.1)  # handler is parked
+                inflight = {
+                    t for c in list(server._conns) for t in c.tasks
+                }
+                assert inflight, "handler never started"
+                t0 = time.monotonic()
+                on_loop(loop, server.stop(drain_s=0.3), timeout=30)
+                # bounded: the 0.3s drain plus scheduling slack, not
+                # the 60s the handler would love to take
+                assert time.monotonic() - t0 < 10.0
+                # cancelled, awaited, gone — not still mutating state
+                assert all(t.done() for t in inflight)
+            finally:
+                release.set()
+                sock.close()
+                server.sessions.open = real_open
+
 
 # ---------------------------------------------------------------------------
 # admission control / load shedding
@@ -639,6 +831,42 @@ class TestMalformedFrames:
                     client.shutdown()
                 assert exc.value.code == "bad-request"
                 assert client.ping()["pong"] is True
+
+
+# ---------------------------------------------------------------------------
+# async client connection teardown
+# ---------------------------------------------------------------------------
+class TestAsyncClientClose:
+    def test_close_fails_inflight_waiters(self):
+        """close() must fail parked call() waiters with ConnectionError
+        rather than strand them.  The read-loop's cleanup used to be
+        ``except Exception``, which CancelledError (a BaseException)
+        sails past — so cancelling the pump from close() orphaned every
+        in-flight waiter and its caller hung forever.  The sharded
+        front-end hits exactly this when recovery closes a dead
+        worker's client while a forwarded request is still awaiting the
+        reply."""
+
+        async def scenario():
+            async def mute(reader, writer):  # accepts, never answers
+                await reader.read()
+
+            srv = await asyncio.start_server(mute, "127.0.0.1", 0)
+            port = srv.sockets[0].getsockname()[1]
+            client = await AsyncServiceClient.connect(port=port)
+            pending = asyncio.create_task(client.call("ping"))
+            await asyncio.sleep(0.05)  # request written, waiter parked
+            await client.close()
+            with pytest.raises(ConnectionError):
+                await asyncio.wait_for(pending, timeout=5.0)
+            # and post-close calls fail fast instead of registering a
+            # waiter no reader will ever resolve
+            with pytest.raises(ConnectionError):
+                await client.call("ping")
+            srv.close()
+            await srv.wait_closed()
+
+        asyncio.run(scenario())
 
 
 # ---------------------------------------------------------------------------
