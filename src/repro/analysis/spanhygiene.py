@@ -17,7 +17,14 @@ flags:
   default is *no spans at all*.  The blessed boundary spans (compile
   on a digest miss, patch emit, dynamic repair — once per call, never
   per edge) carry ``# repro: ignore[RULE]`` suppressions whose
-  justifications document exactly why they are safe.
+  justifications document exactly why they are safe;
+* the **piggyback boundary**: a handler that collects spans with
+  ``with collecting(ctx) as NAME`` must only attach them to a response
+  envelope (``env["spans"] = ...``) under an ``if NAME:``-style guard.
+  ``collecting`` yields ``None`` when the inbound envelope carried no
+  trace context — shipping unconditionally would either crash on the
+  ``None`` or bolt an empty list onto every response, and the guard is
+  what keeps the untraced path allocation-free.
 
 Unrelated ``.start()`` calls (timers, threads, processes) are not
 flagged: only names the module itself bound from a span factory count.
@@ -102,4 +109,71 @@ class SpanHygieneRule(Rule):
                     f"manual span .{node.func.attr}() — an early return "
                     f"or exception leaks the span; use `with span(...)` "
                     f"so exit is guaranteed on every path",
+                )
+        yield from self._check_piggyback(ctx)
+
+    def _check_piggyback(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Flag ``env["spans"] = ...`` that references a ``collecting``
+        capture without a truthiness guard on that capture."""
+        collected: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                call = item.context_expr
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name == "collecting" and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    collected.add(item.optional_vars.id)
+        if not collected:
+            return
+        # every node inside the body of an `if` whose test mentions a
+        # collected name counts as guarded
+        guarded: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            test_names = {
+                n.id
+                for n in ast.walk(node.test)
+                if isinstance(n, ast.Name)
+            }
+            if not (test_names & collected):
+                continue
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    guarded.add(id(sub))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            ships = any(
+                isinstance(target, ast.Subscript)
+                and isinstance(target.slice, ast.Constant)
+                and target.slice.value == "spans"
+                for target in node.targets
+            )
+            if not ships:
+                continue
+            value_names = {
+                n.id
+                for n in ast.walk(node.value)
+                if isinstance(n, ast.Name)
+            }
+            if value_names & collected and id(node) not in guarded:
+                yield ctx.finding(
+                    node, self.id,
+                    "spans piggybacked without an inbound-context guard "
+                    "— `collecting()` yields None for untraced "
+                    "envelopes; wrap the attach in `if <collected>:` so "
+                    "the disabled path stays allocation-free",
                 )

@@ -244,6 +244,32 @@ def main(argv: list[str] | None = None) -> int:
         "--format", choices=("json", "prom"), default="json",
         help="JSON snapshot or Prometheus text exposition",
     )
+    mx.add_argument(
+        "--watch", type=float, default=None, metavar="N",
+        help="re-scrape every N seconds and print the client-side "
+             "deltas of the cumulative counters (ctrl-C to stop)",
+    )
+
+    tp = subs.add_parser(
+        "top",
+        help="live fleet dashboard: poll metrics/health and render a "
+             "refreshing table (req/s, p50/p99, dedup ratio, per-worker "
+             "state/generation/inflight)",
+    )
+    tp.add_argument("--host", default="127.0.0.1")
+    tp.add_argument("--port", type=int, default=7431)
+    tp.add_argument(
+        "--interval", type=float, default=2.0, metavar="N",
+        help="seconds between polls (default: 2)",
+    )
+    tp.add_argument(
+        "--once", action="store_true",
+        help="one poll, no screen clearing, then exit",
+    )
+    tp.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="rendered table or raw {metrics, health} JSON",
+    )
 
     st = subs.add_parser(
         "stats", help="describe a JSON instance (shape, degrees, balance)"
@@ -444,14 +470,31 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"[{exc.code}] {exc}")
         return 0
 
-    if args.command in ("trace", "metrics"):
+    if args.command in ("trace", "metrics", "top"):
         import json
 
         from ..service import RemoteError, ServiceClient
 
         try:
             with ServiceClient(host=args.host, port=args.port) as client:
+                if args.command == "top":
+                    from .top import run_top
+
+                    return run_top(
+                        client,
+                        interval_s=args.interval,
+                        once=args.once,
+                        fmt=args.format,
+                    )
                 if args.command == "metrics":
+                    if args.watch is not None:
+                        if args.format != "json":
+                            parser.error(
+                                "--watch only supports --format json"
+                            )
+                        from .top import run_watch
+
+                        return run_watch(client, interval_s=args.watch)
                     if args.format == "prom":
                         print(
                             client.metrics(format="prometheus")["text"],

@@ -1,0 +1,200 @@
+"""``semimatch top`` and ``semimatch metrics --watch``: live fleet views.
+
+Both commands share one polling loop over a running server's
+``metrics`` / ``health`` ops.  ``top`` renders an in-terminal
+refreshing fleet table (request rate, latency quantiles, dedup ratio,
+per-worker state/generation/inflight, the health verdict with its
+reasons); ``--once --format json`` emits one machine-readable
+``{"metrics": ..., "health": ...}`` document for scripts.  ``metrics
+--watch N`` re-scrapes every N seconds and prints the client-side
+*deltas* of the cumulative counters — the scrape contract (API.md)
+guarantees nothing resets on read, so deltas are safe to compute from
+any two scrapes.
+
+Everything here takes a client object (``metrics_fn``-shaped duck
+typing via :class:`~repro.service.ServiceClient`) so tests drive the
+loop with ``iterations=`` instead of wall-clock patience.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable
+
+__all__ = ["counter_deltas", "render_fleet", "run_top", "run_watch"]
+
+#: ANSI clear-screen + home, the whole "refreshing" implementation.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _scrape(client: Any) -> tuple[dict, dict]:
+    """One ``(metrics, health)`` poll; ``aggregate`` is understood by
+    sharded servers and ignored by plain ones."""
+    return client.call("metrics", aggregate=True), client.health()
+
+
+def counter_deltas(prev: dict, curr: dict) -> dict:
+    """Per-key increments between two cumulative counter maps (keys
+    absent from ``prev`` count from zero; nothing ever decreases under
+    the scrape contract, but a restarted server reads as fresh keys —
+    negative deltas clamp to the new absolute value)."""
+    out: dict[str, int] = {}
+    for name, value in curr.items():
+        delta = int(value) - int(prev.get(name, 0))
+        if delta < 0:
+            delta = int(value)
+        if delta:
+            out[name] = delta
+    return dict(sorted(out.items()))
+
+
+def _rate(prev: dict | None, curr: dict, key: str, elapsed_s: float) -> float:
+    if prev is None or elapsed_s <= 0:
+        return 0.0
+    deltas = counter_deltas(
+        prev.get("counters") or {}, curr.get("counters") or {}
+    )
+    return deltas.get(key, 0) / elapsed_s
+
+
+def render_fleet(
+    snap: dict,
+    health: dict,
+    *,
+    prev: dict | None = None,
+    elapsed_s: float = 0.0,
+) -> str:
+    """The fleet table for one poll (plain servers degrade to the
+    header lines — no ``shards`` block, no worker rows)."""
+    counters = snap.get("counters") or {}
+    latency = snap.get("request_latency_s") or {}
+    window = latency.get("window") or {}
+    requests = int(counters.get("requests", 0))
+    dedup = int(counters.get("dedup_followers", 0))
+    lines = [
+        f"semimatch fleet — health {health.get('verdict', '?')}"
+        f"  (uptime {float(snap.get('uptime_s', 0.0)):.0f}s)",
+        f"req {requests}  req/s {_rate(prev, snap, 'requests', elapsed_s):.1f}"
+        f"  p50 {float(window.get('p50', latency.get('p50', 0.0)) or 0.0) * 1e3:.2f}ms"
+        f"  p99 {float(window.get('p99', latency.get('p99', 0.0)) or 0.0) * 1e3:.2f}ms"
+        f"  dedup {dedup / requests if requests else 0.0:.1%}"
+        f"  shed {int(counters.get('load_shed', 0))}"
+        f"  pending {int(snap.get('pending', 0))}",
+    ]
+    for reason in health.get("reasons") or ():
+        lines.append(
+            f"  ! {reason.get('severity')}: {reason.get('check')} — "
+            f"{reason.get('detail')}"
+        )
+    shards = snap.get("shards")
+    if shards:
+        lines.append("")
+        lines.append(
+            f"{'worker':<8}{'state':<10}{'gen':>4}{'pid':>8}"
+            f"{'inflight':>9}{'sess':>6}{'requests':>10}{'solves':>8}"
+        )
+        for name in sorted(shards):
+            info = shards[name]
+            wm = info.get("metrics")
+            if isinstance(wm, dict) and not wm.get("unreachable"):
+                wc = wm.get("counters") or {}
+                w_requests = str(wc.get("requests", 0))
+                w_solves = str(wc.get("engine_solves", wc.get("batches", 0)))
+            elif isinstance(wm, dict):
+                w_requests, w_solves = "unreachable", "-"
+            else:
+                w_requests, w_solves = "-", "-"
+            lines.append(
+                f"{name:<8}{info.get('state', '?'):<10}"
+                f"{info.get('generation', 0):>4}{info.get('pid', 0):>8}"
+                f"{info.get('inflight', 0):>9}{info.get('sessions', 0):>6}"
+                f"{w_requests:>10}{w_solves:>8}"
+            )
+        fleet = snap.get("fleet")
+        if fleet:
+            merged = fleet.get("request_latency_s") or {}
+            lines.append(
+                f"fleet: {len(fleet.get('workers') or ())} worker(s) "
+                f"scraped, {len(fleet.get('workers_unreachable') or ())} "
+                f"unreachable; worker-side p50 "
+                f"{float(merged.get('p50') or 0.0) * 1e3:.2f}ms p99 "
+                f"{float(merged.get('p99') or 0.0) * 1e3:.2f}ms over "
+                f"{int(merged.get('count') or 0)} solve(s)"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    client: Any,
+    *,
+    interval_s: float = 2.0,
+    once: bool = False,
+    fmt: str = "text",
+    iterations: int | None = None,
+    out: Callable[[str], None] = print,
+    clear: bool = True,
+) -> int:
+    """The ``semimatch top`` loop (one pass with ``once=True``)."""
+    prev: dict | None = None
+    last_t = time.monotonic()
+    n = 0
+    while True:
+        snap, health = _scrape(client)
+        now = time.monotonic()
+        if fmt == "json":
+            out(
+                json.dumps(
+                    {"metrics": snap, "health": health}, sort_keys=True
+                )
+            )
+        else:
+            body = render_fleet(
+                snap, health, prev=prev, elapsed_s=now - last_t
+            )
+            out((CLEAR if clear and not once else "") + body)
+        prev, last_t = snap, now
+        n += 1
+        if once or (iterations is not None and n >= iterations):
+            return 0
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+
+
+def run_watch(
+    client: Any,
+    *,
+    interval_s: float,
+    iterations: int | None = None,
+    out: Callable[[str], None] = print,
+) -> int:
+    """The ``semimatch metrics --watch N`` loop: cumulative scrape,
+    client-side counter deltas."""
+    prev: dict | None = None
+    n = 0
+    while True:
+        snap = client.metrics()
+        counters = snap.get("counters") or {}
+        if prev is None:
+            out(
+                "baseline: "
+                + json.dumps(dict(sorted(counters.items())), sort_keys=True)
+            )
+        else:
+            deltas = counter_deltas(prev, counters)
+            latency = snap.get("request_latency_s") or {}
+            out(
+                f"+{interval_s:g}s "
+                + (json.dumps(deltas, sort_keys=True) if deltas else "(idle)")
+                + f"  latency_count={int(latency.get('count') or 0)}"
+            )
+        prev = dict(counters)
+        n += 1
+        if iterations is not None and n >= iterations:
+            return 0
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0

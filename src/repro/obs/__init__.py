@@ -1,30 +1,44 @@
 """repro.obs — cross-layer observability: spans, metrics, flight data.
 
-Two dependency-free halves:
+Four dependency-free quarters:
 
 * :mod:`repro.obs.trace` — the span tracer.  ``with span("name")``
   regions share a trace id carried through async tasks, executor
-  threads and the engine's process pool, landing in a bounded ring
-  buffer with JSONL export and a slow-solve flight recorder.  Off by
-  default; :func:`enable_tracing` costs one flag flip and the disabled
-  path allocates nothing.
+  threads, the engine's process pool *and the sharded service's worker
+  hop* (spans piggyback on response envelopes, see :func:`collecting` /
+  :func:`shippable`), landing in a bounded ring buffer with JSONL
+  export and a slow-solve flight recorder.  Off by default;
+  :func:`enable_tracing` costs one flag flip and the disabled path
+  allocates nothing.
 * :mod:`repro.obs.metrics` — the process-wide metrics registry
   (counters / gauges / histograms) with JSON and Prometheus-text
   exposition.  :mod:`repro.service.metrics` is a thin view over it.
+* :mod:`repro.obs.fleet` — fleet aggregation: per-worker metrics
+  snapshots fold into one view (counters sum, fixed-bucket histograms
+  merge bucket-wise, gauges tag per worker).
+* :mod:`repro.obs.health` — health/SLO scoring over the aggregated
+  snapshot: typed ``ok | degraded | critical`` verdicts with
+  machine-readable reasons, graded against a :class:`HealthBudget`.
 
-See API.md's "Observability" section for the naming scheme, the
-metrics-op scrape contract, and the ``semimatch trace`` / ``semimatch
-metrics`` CLI.
+See API.md's "Observability" and "Fleet observability" sections for
+the naming scheme, the metrics-op scrape contract, stitching
+semantics, and the ``semimatch trace`` / ``semimatch metrics`` /
+``semimatch top`` CLI.
 """
 
+from .fleet import aggregate_fleet, is_unreachable, unreachable_marker
+from .health import SEVERITIES, HealthBudget, score_fleet
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     default_registry,
+    merge_counter_maps,
+    merge_histogram_snapshots,
 )
 from .trace import (
+    PIGGYBACK_MAX_SPANS,
     RECORDER,
     Span,
     TraceRecorder,
@@ -32,6 +46,7 @@ from .trace import (
     attached,
     carry,
     collect_timings,
+    collecting,
     current_trace_id,
     disable_tracing,
     enable_tracing,
@@ -40,6 +55,7 @@ from .trace import (
     ingest,
     measured_span,
     ship_context,
+    shippable,
     span,
     tracing,
     tracing_enabled,
@@ -49,15 +65,20 @@ from .trace import (
 __all__ = [
     "Counter",
     "Gauge",
+    "HealthBudget",
     "Histogram",
     "MetricsRegistry",
+    "PIGGYBACK_MAX_SPANS",
     "RECORDER",
+    "SEVERITIES",
     "Span",
     "TraceRecorder",
     "adopt",
+    "aggregate_fleet",
     "attached",
     "carry",
     "collect_timings",
+    "collecting",
     "current_trace_id",
     "default_registry",
     "disable_tracing",
@@ -65,10 +86,16 @@ __all__ = [
     "export_jsonl",
     "format_trace_tree",
     "ingest",
+    "is_unreachable",
     "measured_span",
+    "merge_counter_maps",
+    "merge_histogram_snapshots",
+    "score_fleet",
     "ship_context",
+    "shippable",
     "span",
     "tracing",
     "tracing_enabled",
+    "unreachable_marker",
     "wire_context",
 ]

@@ -1,0 +1,97 @@
+"""Fleet-level aggregation of per-worker metrics snapshots.
+
+The sharded front-end scrapes each worker's ``metrics`` op and hands
+the per-worker snapshots to :func:`aggregate_fleet`, which folds them
+into **one** fleet view:
+
+* counters sum key-wise;
+* the fixed-bucket ``request_latency_s`` / ``batch_size`` histograms
+  merge bucket-wise (:func:`~repro.obs.metrics.merge_histogram_snapshots`),
+  so fleet p50/p99 come out of the merged cumulative walk — never from
+  averaging per-worker percentiles;
+* point-in-time values (pending depth, open sessions, uptime) are kept
+  as gauges tagged by worker name — summing them would hide exactly
+  the per-worker skew a dashboard wants to show.
+
+A worker that cannot be scraped is represented by the typed
+:func:`unreachable_marker` (never a silent ``None``) and listed in the
+fleet view's ``workers_unreachable`` — a hung worker must be visible,
+not blank.
+
+Dependency-free (stdlib only), mypy-clean.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .metrics import merge_counter_maps, merge_histogram_snapshots
+
+__all__ = ["aggregate_fleet", "is_unreachable", "unreachable_marker"]
+
+#: The two fixed-bucket service histograms every worker snapshot carries.
+_HISTOGRAMS = ("request_latency_s", "batch_size")
+
+#: Worker-snapshot scalars surfaced as per-worker-tagged fleet gauges.
+_GAUGES = ("pending", "uptime_s")
+
+
+def unreachable_marker(reason: str) -> dict[str, Any]:
+    """The typed stand-in for a worker whose scrape failed."""
+    return {"unreachable": True, "reason": str(reason)}
+
+
+def is_unreachable(snap: Any) -> bool:
+    """Whether ``snap`` is an :func:`unreachable_marker` (or junk)."""
+    return not isinstance(snap, Mapping) or bool(snap.get("unreachable"))
+
+
+def aggregate_fleet(workers: Mapping[str, Any]) -> dict[str, Any]:
+    """Fold per-worker ``metrics`` snapshots into one fleet view.
+
+    ``workers`` maps worker name (``w0``, ``w1``, ...) to that worker's
+    ``metrics`` op result — or an :func:`unreachable_marker` for
+    workers that could not be scraped, which are excluded from every
+    merge and listed under ``workers_unreachable``.
+
+    The merged histograms satisfy the count identity: the fleet
+    ``count`` equals the sum of the per-worker ``count`` values, bucket
+    by bucket.
+    """
+    reachable: dict[str, Mapping[str, Any]] = {}
+    unreachable: list[str] = []
+    for name in sorted(workers):
+        snap = workers[name]
+        if is_unreachable(snap):
+            unreachable.append(name)
+        else:
+            reachable[name] = snap
+    gauges: dict[str, float] = {}
+    for name, snap in reachable.items():
+        for key in _GAUGES:
+            value = snap.get(key)
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                gauges[f"{name}.{key}"] = float(value)
+        sessions = snap.get("sessions")
+        if isinstance(sessions, Mapping) and isinstance(
+            sessions.get("open"), int
+        ):
+            gauges[f"{name}.sessions_open"] = float(sessions["open"])
+    out: dict[str, Any] = {
+        "workers": sorted(reachable),
+        "workers_unreachable": unreachable,
+        "counters": merge_counter_maps(
+            [dict(snap.get("counters") or {}) for snap in reachable.values()]
+        ),
+        "gauges": dict(sorted(gauges.items())),
+    }
+    for key in _HISTOGRAMS:
+        snaps = [
+            dict(snap[key])
+            for snap in reachable.values()
+            if isinstance(snap.get(key), Mapping)
+        ]
+        out[key] = merge_histogram_snapshots(snaps) if snaps else None
+    return out

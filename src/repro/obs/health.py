@@ -1,0 +1,271 @@
+"""Health/SLO scoring over the aggregated fleet snapshot.
+
+:func:`score_fleet` turns the numbers the sharded front-end already
+has — worker liveness, shed rate, client-visible p99 latency, restart
+churn, pin/tombstone pressure — into one typed verdict
+(``ok | degraded | critical``) with machine-readable reasons, served
+by the service's ``health`` op and rendered by ``semimatch top``.
+
+Thresholds live in the frozen :class:`HealthBudget` dataclass.  The
+defaults suit the repo's loadtest profile; a caller overrides any
+subset over the wire (``health`` op ``budget`` field), validated by
+:meth:`HealthBudget.from_wire` — an unknown or non-numeric field is a
+``ValueError``, which the server maps to ``bad-request``.
+
+Every check is *optional*: a plain (non-sharded) server scores only
+the inputs it has (shed rate, latency, uptime), and absent inputs are
+simply skipped rather than defaulted — a missing signal is not a
+healthy signal.
+
+Dependency-free (stdlib only), mypy-clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+__all__ = ["HealthBudget", "score_fleet", "SEVERITIES"]
+
+#: Verdict levels, mildest first — a fleet's verdict is the worst
+#: severity any check reported.
+SEVERITIES = ("ok", "degraded", "critical")
+
+_RANK = {name: i for i, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class HealthBudget:
+    """The SLO knobs every check grades against.
+
+    ``latency_p99_s`` is the client-visible p99 budget; latency is
+    critical at ``latency_critical_factor`` times it.  The remaining
+    pairs are (degraded, critical) thresholds on ratios or rates.
+    """
+
+    latency_p99_s: float = 0.25
+    latency_critical_factor: float = 4.0
+    shed_ratio_degraded: float = 0.01
+    shed_ratio_critical: float = 0.10
+    restarts_per_worker_hour_degraded: float = 1.0
+    restarts_per_worker_hour_critical: float = 6.0
+    pin_ratio_degraded: float = 0.80
+    pin_ratio_critical: float = 0.95
+    tombstone_ratio_degraded: float = 0.50
+    tombstone_ratio_critical: float = 0.90
+
+    @classmethod
+    def from_wire(cls, data: Any) -> "HealthBudget":
+        """Build a budget from the ``health`` op's optional ``budget``
+        field; raises ``ValueError`` on anything malformed."""
+        if data is None:
+            return cls()
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                "'budget' must be an object of budget fields"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown budget field(s) {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        values: dict[str, float] = {}
+        for key, value in data.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ValueError(
+                    f"budget field {key!r} must be a number"
+                )
+            if float(value) <= 0:
+                raise ValueError(
+                    f"budget field {key!r} must be positive"
+                )
+            values[str(key)] = float(value)
+        return cls(**values)
+
+
+def _grade(value: float, degraded: float, critical: float) -> str:
+    if value >= critical:
+        return "critical"
+    if value >= degraded:
+        return "degraded"
+    return "ok"
+
+
+def score_fleet(
+    inputs: Mapping[str, Any], budget: HealthBudget | None = None
+) -> dict[str, Any]:
+    """Score a fleet (or a single server) from observed inputs.
+
+    Recognised ``inputs`` keys — every one optional, absent keys skip
+    their check:
+
+    * ``workers`` / ``workers_up`` — configured vs live worker count;
+    * ``workers_unreachable`` — metrics scrapes that failed;
+    * ``requests`` / ``load_shed`` — cumulative counters (shed ratio);
+    * ``latency_p99_s`` — the client-visible p99 (the front-end's own
+      request histogram, *not* a worker aggregate — double-counting a
+      request on both sides of the hop would skew the SLO);
+    * ``workers_lost`` / ``uptime_s`` — restart churn per worker-hour
+      (uptime clamped to ten minutes so a fresh fleet's first crash
+      grades as degraded churn, not instant criticality);
+    * ``pins_open`` / ``pins_capacity`` — session-pin pressure;
+    * ``tombstones`` / ``tombstones_capacity`` — relocation-tombstone
+      pressure.
+
+    Returns ``{"verdict", "reasons", "checks", "budget"}`` where
+    ``reasons`` holds one machine-readable entry per non-ok check,
+    worst first.
+    """
+    b = budget if budget is not None else HealthBudget()
+    checks: dict[str, str] = {}
+    reasons: list[dict[str, Any]] = []
+
+    def note(
+        check: str,
+        severity: str,
+        value: float,
+        threshold: float,
+        detail: str,
+    ) -> None:
+        checks[check] = severity
+        if severity != "ok":
+            reasons.append(
+                {
+                    "check": check,
+                    "severity": severity,
+                    "value": value,
+                    "threshold": threshold,
+                    "detail": detail,
+                }
+            )
+
+    workers = inputs.get("workers")
+    if workers is not None:
+        total = int(workers)
+        up = int(inputs.get("workers_up", 0))
+        if total and up == 0:
+            note("workers", "critical", up, total, "no worker is up")
+        elif up < total:
+            note(
+                "workers",
+                "degraded",
+                up,
+                total,
+                f"{total - up} of {total} workers not up",
+            )
+        else:
+            note("workers", "ok", up, total, "")
+
+    unreachable = inputs.get("workers_unreachable")
+    if unreachable is not None:
+        n = int(unreachable)
+        note(
+            "unreachable",
+            "degraded" if n else "ok",
+            n,
+            0,
+            f"{n} worker metrics scrape(s) failed" if n else "",
+        )
+
+    requests = inputs.get("requests")
+    if requests is not None:
+        shed = int(inputs.get("load_shed", 0))
+        ratio = shed / max(int(requests), 1)
+        note(
+            "shed",
+            _grade(ratio, b.shed_ratio_degraded, b.shed_ratio_critical)
+            if shed
+            else "ok",
+            round(ratio, 6),
+            b.shed_ratio_degraded,
+            f"{shed} of {requests} requests shed" if shed else "",
+        )
+
+    p99 = inputs.get("latency_p99_s")
+    if p99 is not None:
+        observed = float(p99)
+        critical_at = b.latency_p99_s * b.latency_critical_factor
+        severity = (
+            "critical"
+            if observed >= critical_at
+            else "degraded"
+            if observed >= b.latency_p99_s
+            else "ok"
+        )
+        note(
+            "latency",
+            severity,
+            observed,
+            b.latency_p99_s,
+            f"p99 {observed:.4f}s vs budget {b.latency_p99_s:.4f}s"
+            if severity != "ok"
+            else "",
+        )
+
+    lost = inputs.get("workers_lost")
+    if lost is not None and workers:
+        hours = max(float(inputs.get("uptime_s", 0.0)), 600.0) / 3600.0
+        rate = int(lost) / max(int(workers), 1) / hours
+        note(
+            "restarts",
+            _grade(
+                rate,
+                b.restarts_per_worker_hour_degraded,
+                b.restarts_per_worker_hour_critical,
+            )
+            if lost
+            else "ok",
+            round(rate, 4),
+            b.restarts_per_worker_hour_degraded,
+            f"{lost} worker(s) lost "
+            f"(~{rate:.2f}/worker/hour)"
+            if lost
+            else "",
+        )
+
+    for check, open_key, cap_key, deg, crit in (
+        (
+            "pins",
+            "pins_open",
+            "pins_capacity",
+            b.pin_ratio_degraded,
+            b.pin_ratio_critical,
+        ),
+        (
+            "tombstones",
+            "tombstones",
+            "tombstones_capacity",
+            b.tombstone_ratio_degraded,
+            b.tombstone_ratio_critical,
+        ),
+    ):
+        open_n = inputs.get(open_key)
+        cap = inputs.get(cap_key)
+        if open_n is None or not cap:
+            continue
+        ratio = int(open_n) / int(cap)
+        note(
+            check,
+            _grade(ratio, deg, crit),
+            round(ratio, 4),
+            deg,
+            f"{open_n} of {cap} {check} slots used"
+            if _grade(ratio, deg, crit) != "ok"
+            else "",
+        )
+
+    verdict = "ok"
+    for severity in checks.values():
+        if _RANK[severity] > _RANK[verdict]:
+            verdict = severity
+    reasons.sort(key=lambda r: -_RANK[str(r["severity"])])
+    return {
+        "verdict": verdict,
+        "reasons": reasons,
+        "checks": checks,
+        "budget": asdict(b),
+    }

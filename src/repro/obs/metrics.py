@@ -39,6 +39,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "merge_counter_maps",
+    "merge_histogram_snapshots",
 ]
 
 
@@ -172,6 +174,72 @@ class Histogram:
                 "p99": self.window_quantile(0.99),
             },
         }
+
+
+# ----------------------------------------------------------------------
+# snapshot merging (fleet aggregation)
+# ----------------------------------------------------------------------
+def merge_counter_maps(maps: Sequence[dict]) -> dict:
+    """Sum counter maps key-wise (missing keys count as zero)."""
+    out: dict[str, int] = {}
+    for counters in maps:
+        for name, value in counters.items():
+            out[name] = out.get(name, 0) + int(value)
+    return dict(sorted(out.items()))
+
+
+def merge_histogram_snapshots(snaps: Sequence[dict]) -> dict:
+    """Merge :meth:`Histogram.snapshot` dicts bucket-wise.
+
+    The whole point of fixed upper-bound buckets: snapshots from
+    different processes merge by summing bucket counts, and fleet
+    p50/p99 come out of the *merged* cumulative walk — never from
+    averaging per-process percentiles, which has no statistical
+    meaning.  All snapshots must share identical bucket bounds
+    (``ValueError`` otherwise); the per-process ``window`` blocks are
+    raw-observation views that cannot be merged, so the fleet snapshot
+    is cumulative-only.
+    """
+    if not snaps:
+        raise ValueError("nothing to merge")
+    bounds = [b for b, _ in snaps[0]["buckets"]]
+    counts = [0] * len(bounds)
+    count = 0
+    total = 0.0
+    for snap in snaps:
+        if [b for b, _ in snap["buckets"]] != bounds:
+            raise ValueError(
+                "histogram snapshots with differing bucket bounds "
+                "cannot be merged"
+            )
+        for i, (_, c) in enumerate(snap["buckets"]):
+            counts[i] += int(c)
+        count += int(snap["count"])
+        total += float(snap["sum"])
+
+    def quantile(q: float) -> float:
+        # the same cumulative walk as Histogram.quantile, over the
+        # merged counts (finite bounds exclude the +inf slot)
+        finite = [b for b in bounds if b is not None]
+        if count == 0 or not finite:
+            return 0.0
+        rank = q * count
+        seen = 0
+        for i, c in enumerate(counts):
+            seen += c
+            if seen >= rank and c:
+                return bounds[i] if bounds[i] is not None else finite[-1]
+        return finite[-1]
+
+    return {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "p50": quantile(0.50),
+        "p99": quantile(0.99),
+        "buckets": [[b, c] for b, c in zip(bounds, counts)],
+        "merged_from": len(snaps),
+    }
 
 
 def _prom_name(name: str) -> str:

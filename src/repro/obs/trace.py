@@ -47,6 +47,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 __all__ = [
+    "PIGGYBACK_MAX_SPANS",
     "Span",
     "TraceRecorder",
     "RECORDER",
@@ -54,6 +55,7 @@ __all__ = [
     "attached",
     "carry",
     "collect_timings",
+    "collecting",
     "current_trace_id",
     "disable_tracing",
     "enable_tracing",
@@ -62,11 +64,17 @@ __all__ = [
     "ingest",
     "measured_span",
     "ship_context",
+    "shippable",
     "span",
     "tracing",
     "tracing_enabled",
     "wire_context",
 ]
+
+#: Upper bound on spans piggybacked on one response envelope — a
+#: worker that recorded more ships the newest ``cap`` (the structural
+#: spine closes last, so leaves drop first).
+PIGGYBACK_MAX_SPANS = 256
 
 #: The module-level fast flag: checked before any allocation, so the
 #: disabled path of :func:`span` costs one global load and one branch.
@@ -234,7 +242,10 @@ class Span:
                 _TRACE.reset(self._token)
                 self._token = None
             if exc_type is not None:
-                self.attrs["error"] = exc_type.__name__
+                # setdefault: a call site that already attributed the
+                # failure (e.g. ``error="worker-lost"``) wins over the
+                # raw exception class name
+                self.attrs.setdefault("error", exc_type.__name__)
             timings = _TIMINGS.get()
             if timings is not None:
                 timings[self.name] = (
@@ -380,6 +391,56 @@ def adopt(ctx: tuple[str, str] | None) -> Iterator[list | None]:
         _ENABLED = prev
         _SINK.reset(sink_token)
         _TRACE.reset(trace_token)
+
+
+@contextmanager
+def collecting(ctx: Any) -> Iterator[list | None]:
+    """Server-side: collect the block's spans for piggybacking.
+
+    ``ctx`` is the inbound envelope's ``trace`` field.  When tracing is
+    enabled *and* the envelope carried a well-formed context, the
+    block's finished spans divert into a fresh list (yielded) instead
+    of the process recorder, so the handler can ship them back on the
+    response — see :func:`shippable`.  Otherwise (tracing off, no
+    context, malformed context) the block runs unchanged and ``None``
+    is yielded: an untraced client never pays for collection.
+
+    Unlike :func:`adopt` this does **not** set the trace context — pair
+    it with :func:`attached`, which validates the same shape.
+    """
+    if not _ENABLED or not isinstance(ctx, dict):
+        yield None
+        return
+    if not isinstance(ctx.get("id"), str) or not isinstance(
+        ctx.get("span"), str
+    ):
+        yield None
+        return
+    collected: list[dict] = []
+    token = _SINK.set(collected)
+    try:
+        yield collected
+    finally:
+        _SINK.reset(token)
+
+
+def shippable(
+    records: list[dict], *, cap: int = PIGGYBACK_MAX_SPANS
+) -> list[dict]:
+    """Prepare collected spans for the wire (size cap + root hygiene).
+
+    Keeps the newest ``cap`` records and strips ``local_root`` from
+    each: a shipped local-root span would complete the trace in the
+    *receiving* recorder the moment it is ingested, splitting the
+    stitched tree — completion belongs to whichever process owns the
+    outermost span.
+    """
+    out = []
+    for rec in records[-cap:] if len(records) > cap else records:
+        if rec.get("local_root"):
+            rec = {k: v for k, v in rec.items() if k != "local_root"}
+        out.append(rec)
+    return out
 
 
 @contextmanager

@@ -33,7 +33,7 @@ from ..core.bipartite import BipartiteGraph
 from ..core.hypergraph import TaskHypergraph
 from ..core.semimatching import HyperSemiMatching
 from ..dynamic import DynamicInstance, Mutation
-from ..obs.trace import wire_context
+from ..obs.trace import ingest, wire_context
 from ..sched.model import SchedulingProblem
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -251,6 +251,13 @@ class ServiceClient:
 
     @staticmethod
     def _unwrap(envelope: dict) -> dict:
+        # a traced request's response may piggyback the server-side
+        # spans (see API.md "Fleet observability"): file them before
+        # unwrapping, so even an error envelope — the worker-lost hop
+        # above all — contributes its spans to the caller's trace
+        spans = envelope.get("spans")
+        if isinstance(spans, list):
+            ingest(spans)
         if envelope.get("ok"):
             return envelope["result"]
         err = envelope.get("error") or {}
@@ -406,6 +413,13 @@ class ServiceClient:
             return self.call("trace")
         return self.call("trace", count=count)
 
+    def health(self, *, budget: dict | None = None) -> dict:
+        """The server's ``health`` verdict, optionally graded against
+        a caller-supplied budget (see ``repro.obs.health``)."""
+        if budget is None:
+            return self.call("health")
+        return self.call("health", budget=budget)
+
     def shutdown(self) -> dict:
         return self.call("shutdown")
 
@@ -545,6 +559,11 @@ class AsyncServiceClient:
         if count is None:
             return await self.call("trace")
         return await self.call("trace", count=count)
+
+    async def health(self, *, budget: dict | None = None) -> dict:
+        if budget is None:
+            return await self.call("health")
+        return await self.call("health", budget=budget)
 
     async def shutdown(self) -> dict:
         return await self.call("shutdown")

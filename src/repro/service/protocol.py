@@ -80,6 +80,7 @@ OPS = (
     "session.close",
     "metrics",
     "trace",
+    "health",
     "shutdown",
 )
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any
@@ -45,13 +46,16 @@ from ..api.result import SolveResult
 from ..core.hypergraph import TaskHypergraph
 from ..engine.batch import BatchSolver
 from ..engine.cache import instance_digest
+from ..obs.health import HealthBudget, score_fleet
 from ..obs.trace import (
     RECORDER,
     attached,
     carry,
+    collecting,
     disable_tracing,
     enable_tracing,
     measured_span,
+    shippable,
     span,
     tracing_enabled,
 )
@@ -203,6 +207,7 @@ class SolveServer:
         self._solve_expected = 0
         self._conn_ids = itertools.count(1)
         self._conns: set[_Conn] = set()
+        self._started_monotonic: float | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stop_task: asyncio.Task | None = None
         self._stopping = asyncio.Event()
@@ -229,6 +234,7 @@ class SolveServer:
             limit=MAX_FRAME_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
 
     async def serve_forever(self) -> None:
         """:meth:`start` (when needed) and run until :meth:`stop`."""
@@ -435,23 +441,31 @@ class SolveServer:
         # ``local_root``: the client's envelope may name a remote
         # parent span, but *this* span is the one that completes the
         # trace in the server's recorder — the remote root never
-        # reports here
+        # reports here.  When the envelope carried a trace context the
+        # request's spans divert into ``shipped`` instead and ride back
+        # on the response (success or error — a traced client wants the
+        # failed hop most of all), so the caller can stitch one tree
+        # across the hop.
         with attached(trace_ctx):
-            with span("service.request", local_root=True) as sp:
-                if sp.recording:
-                    sp.set(op=op, conn=conn.id)
-                try:
-                    result = await self._execute(conn, op, payload, ticket)
-                except asyncio.CancelledError:
-                    raise
-                except Exception as exc:
-                    code = error_code_for(exc)
-                    self.metrics.incr(f"errors.{code}")
-                    await self._send(
-                        conn, error_response(req_id, code, str(exc))
-                    )
-                else:
-                    await self._send(conn, ok_response(req_id, result))
+            with collecting(trace_ctx) as shipped:
+                with span("service.request", local_root=True) as sp:
+                    if sp.recording:
+                        sp.set(op=op, conn=conn.id)
+                    try:
+                        result = await self._execute(
+                            conn, op, payload, ticket
+                        )
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:
+                        code = error_code_for(exc)
+                        self.metrics.incr(f"errors.{code}")
+                        envelope = error_response(req_id, code, str(exc))
+                    else:
+                        envelope = ok_response(req_id, result)
+            if shipped:
+                envelope["spans"] = shippable(shipped)
+            await self._send(conn, envelope)
 
     async def _execute(
         self,
@@ -503,6 +517,8 @@ class SolveServer:
             return self._op_metrics(payload)
         if op == "trace":
             return self._op_trace(payload)
+        if op == "health":
+            return await self._op_health(payload)
         if op == "shutdown":
             if not self.allow_shutdown:
                 raise ProtocolError(
@@ -697,4 +713,36 @@ class SolveServer:
         )
         snap["sessions"] = {"open": len(self.sessions)}
         snap["pending"] = self._pending
+        snap["uptime_s"] = self.uptime_s
         return snap
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start` bound the listener (0 before)."""
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    def _health_budget(self, payload: dict) -> HealthBudget:
+        try:
+            return HealthBudget.from_wire(payload.get("budget"))
+        except ValueError as exc:
+            raise ProtocolError(str(exc), code=ErrorCode.BAD_REQUEST)
+
+    async def _op_health(self, payload: dict) -> dict:
+        """The ``health`` op: single-server subset of the fleet checks
+        (the sharded front-end overrides this with the full set)."""
+        budget = self._health_budget(payload)
+        verdict = score_fleet(
+            {
+                "requests": self.metrics.counter("requests"),
+                "load_shed": self.metrics.counter("load_shed"),
+                "latency_p99_s": self.metrics.request_latency_s.quantile(
+                    0.99
+                ),
+                "uptime_s": self.uptime_s,
+            },
+            budget,
+        )
+        verdict["uptime_s"] = self.uptime_s
+        return verdict

@@ -53,6 +53,8 @@ from ..engine.transport import (
     instance_nbytes,
     transport_available,
 )
+from ..obs.fleet import aggregate_fleet, unreachable_marker
+from ..obs.health import score_fleet
 from ..obs.trace import carry, measured_span, span
 from .client import AsyncServiceClient
 from .protocol import (
@@ -313,12 +315,27 @@ class ShardedSolveServer(SolveServer):
             )
         shard.inflight += 1
         try:
-            return await client.call(op, **payload)
-        except (ConnectionError, OSError) as exc:
-            raise WorkerLostError(
-                f"worker {shard.name} was lost mid-request ({exc}); "
-                f"retry"
-            ) from exc
+            # the hop span: the worker's own spans ride back on the
+            # response envelope (the client call runs inside this span,
+            # so the forwarded envelope carries its context) and are
+            # ingested as this span's descendants — one stitched tree.
+            # On a crash the span closes with ``error=worker-lost``
+            # (the wire code, not the exception class), marking the
+            # failed hop in the retried request's trace.
+            with span("service.shard.worker") as sp:
+                if sp.recording:
+                    sp.set(
+                        worker=shard.name, generation=shard.generation
+                    )
+                try:
+                    return await client.call(op, **payload)
+                except (ConnectionError, OSError) as exc:
+                    if sp.recording:
+                        sp.set(error="worker-lost")
+                    raise WorkerLostError(
+                        f"worker {shard.name} was lost mid-request "
+                        f"({exc}); retry"
+                    ) from exc
         finally:
             shard.inflight -= 1
 
@@ -606,10 +623,12 @@ class ShardedSolveServer(SolveServer):
         if "text" in snap:
             return snap  # prometheus exposition: front-end counters only
         include_workers = bool((payload or {}).get("workers", True))
+        aggregate = bool((payload or {}).get("aggregate", False))
         pins_on: dict[int, int] = {}
         for pin in self._pins.values():
             pins_on[pin.idx] = pins_on.get(pin.idx, 0) + 1
         shards: dict[str, Any] = {}
+        scraped: dict[str, Any] = {}
         for idx in sorted(self._shards):
             shard = self._shards[idx]
             info: dict[str, Any] = {
@@ -625,13 +644,64 @@ class ShardedSolveServer(SolveServer):
                     info["metrics"] = await asyncio.wait_for(
                         self._call_worker(shard, "metrics", {}), 5.0
                     )
-                except Exception:
-                    info["metrics"] = None
+                except Exception as exc:
+                    # a hung worker must be visible, not blank: a typed
+                    # marker in place of the snapshot, plus a counter
+                    info["metrics"] = unreachable_marker(
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    self.metrics.incr("workers_unreachable")
+                scraped[shard.name] = info["metrics"]
             shards[shard.name] = info
         snap["shards"] = shards
+        if aggregate:
+            # one fleet view over the scraped worker snapshots: summed
+            # counters, bucket-merged histograms (fleet p50/p99 from
+            # the merged cumulative walk).  The per-shard cumulative
+            # snapshots stay under ``shards.*.metrics`` — scrapers
+            # compute per-shard deltas from those, per the scrape
+            # contract.
+            snap["fleet"] = aggregate_fleet(scraped)
         snap["supervisor"] = self.supervisor.stats()
         snap["transport"] = (
             self._exports.stats() if self._exports is not None else None
         )
         snap["sessions"] = {"open": len(self._pins)}
         return snap
+
+    async def _op_health(self, payload: dict) -> dict:
+        """The sharded ``health`` op: the full fleet check set (the
+        base server scores only its own subset)."""
+        budget = self._health_budget(payload)
+        up = sum(1 for s in self._shards.values() if s.state == "up")
+        snap = await self._op_metrics_sharded(
+            {"workers": True, "aggregate": True}
+        )
+        fleet = snap.get("fleet") or {}
+        verdict = score_fleet(
+            {
+                "workers": self.n_workers,
+                "workers_up": up,
+                "workers_unreachable": len(
+                    fleet.get("workers_unreachable") or ()
+                ),
+                "requests": self.metrics.counter("requests"),
+                "load_shed": self.metrics.counter("load_shed"),
+                # the client-visible SLO: the front-end's own latency
+                # histogram, not a worker aggregate (one request would
+                # count on both sides of the hop)
+                "latency_p99_s": self.metrics.request_latency_s.quantile(
+                    0.99
+                ),
+                "workers_lost": self.metrics.counter("workers_lost"),
+                "uptime_s": self.uptime_s,
+                "pins_open": len(self._pins),
+                "pins_capacity": self.sessions.max_sessions,
+                "tombstones": len(self._relocated),
+                "tombstones_capacity": _RELOCATED_KEEP,
+            },
+            budget,
+        )
+        verdict["uptime_s"] = self.uptime_s
+        verdict["workers"] = {"total": self.n_workers, "up": up}
+        return verdict

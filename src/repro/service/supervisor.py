@@ -306,4 +306,8 @@ class Supervisor:
             "workers": self.n_workers,
             "spawns": self.spawns,
             "alive": sum(1 for h in self.handles.values() if h.alive),
+            "restarts": max(self.spawns - self.n_workers, 0),
+            "generations": {
+                h.name: h.generation for h in self.handles.values()
+            },
         }

@@ -1,12 +1,13 @@
 # repro: domain=kernel
 """Known-bad span-hygiene fixture: every violation class.
 
-A span factory called inside a kernel-domain module, and manual
+A span factory called inside a kernel-domain module, manual
 ``.start()``/``.end()`` lifetimes (bound and chained) that leak on any
-early exit.
+early exit, and a piggyback attach that skips the inbound-context
+guard.
 """
 
-from repro.obs.trace import measured_span, span
+from repro.obs.trace import collecting, measured_span, span
 
 
 def hot_loop(edges):
@@ -27,3 +28,10 @@ def leaky(work):
 
 def chained():
     return span("engine.oneshot").start()  # line: chained-start
+
+
+def ships_unconditionally(ctx, handler):
+    with collecting(ctx) as shipped:
+        envelope = handler()
+    envelope["spans"] = shipped  # line: unguarded-piggyback
+    return envelope

@@ -1,9 +1,10 @@
 """Known-good span-hygiene fixture: scoped spans in a non-kernel
-module, and ``.start()`` calls on things that are not spans."""
+module, ``.start()`` calls on things that are not spans, and the
+guarded piggyback idiom."""
 
 import threading
 
-from repro.obs.trace import measured_span, span
+from repro.obs.trace import collecting, measured_span, shippable, span
 
 
 def scoped(solve):
@@ -20,3 +21,17 @@ def unrelated_starts(pool):
     worker = threading.Thread(target=lambda: None)
     worker.start()
     return pool.start()
+
+
+def ships_guarded(ctx, handler):
+    with collecting(ctx) as shipped:
+        envelope = handler()
+    if shipped:  # collecting() yielded a list: the envelope was traced
+        envelope["spans"] = shippable(shipped)
+    return envelope
+
+
+def unrelated_spans_key(record):
+    # a "spans" assignment with no collected name involved: not ours
+    record["spans"] = []
+    return record

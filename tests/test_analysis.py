@@ -233,7 +233,15 @@ class TestSpanHygiene:
         for name in ("manual-start", "manual-end", "chained-start"):
             assert marker_line("spanhygiene_bad.py", name) in lines, name
 
+    def test_flags_unguarded_piggyback(self):
+        report = run_rule(SpanHygieneRule(), "spanhygiene_bad.py")
+        assert marker_line(
+            "spanhygiene_bad.py", "unguarded-piggyback"
+        ) in lines_of(report, "span-hygiene")
+
     def test_scoped_spans_and_unrelated_starts_are_clean(self):
+        # includes the guarded piggyback idiom and an unrelated
+        # "spans" key assignment — both must stay silent
         report = run_rule(SpanHygieneRule(), "spanhygiene_good.py")
         assert report.clean, [str(f) for f in report.findings]
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import socket
 import threading
 import time
@@ -28,6 +29,8 @@ import numpy as np
 import pytest
 
 from repro.api import solve as api_solve
+from repro.obs import trace as trace_mod
+from repro.obs.trace import TraceRecorder, span
 from repro.dynamic import DynamicInstance, IncrementalSolver
 from repro.generators import churn_trace, generate_multiproc
 from repro.service import (
@@ -369,6 +372,105 @@ class TestChaos:
             counters = server.metrics.snapshot()["counters"]
             assert counters["workers_lost"] >= 1
             assert counters["worker_restarts"] >= 1
+
+    @staticmethod
+    def _traced_kill_burst(server, loop, instances, victim):
+        """One burst under a client-side root span, SIGKILLing
+        ``victim`` right after dispatch; returns the settled results
+        and the root's trace id."""
+
+        async def burst():
+            client = await AsyncServiceClient.connect(port=server.port)
+            try:
+                with span("test.chaos.burst") as root:
+                    tasks = [
+                        asyncio.create_task(client.solve(hg))
+                        for hg in instances
+                    ]
+                    # kill only once the victim actually has a forward
+                    # in flight (we run on the server's loop, so its
+                    # inflight counter is safe to read) — a kill that
+                    # beats the dispatch would just be routed around
+                    shard = server._shards[victim]
+                    deadline = asyncio.get_running_loop().time() + 20
+                    while (
+                        shard.inflight == 0
+                        and asyncio.get_running_loop().time() < deadline
+                    ):
+                        await asyncio.sleep(0.001)
+                    server.supervisor.kill(victim)
+                    settled = await asyncio.gather(
+                        *tasks, return_exceptions=True
+                    )
+            finally:
+                await client.close()
+            return settled, root.trace_id
+
+        return on_loop(loop, burst(), timeout=240)
+
+    def test_chaos_stitched_trace_keeps_failed_hop(self):
+        """SIGKILL a worker under a *traced* burst: the client's
+        stitched trace — one trace id — must contain the failed hop
+        (the front-end's ``service.shard.worker`` span attributed
+        ``error=worker-lost``, piggybacked on the error envelope) *and*
+        the successful retry leg, down to worker-side spans from a
+        different pid."""
+        instances = small_instances(16, n_tasks=48, seed0=5000)
+        old = trace_mod.RECORDER
+        rec = trace_mod.RECORDER = TraceRecorder(
+            capacity=65536, threshold_s=1e9
+        )
+        try:
+            with running_pool(n_workers=2) as (server, loop):
+                # the kill races the burst: only requests in flight on
+                # the victim at SIGKILL produce the failed hop, so
+                # retry (alternating victims) until one is captured
+                mine, failed = [], []
+                for round_no in range(5):
+                    wait_all_up(server, timeout=120)
+                    settled, trace_id = self._traced_kill_burst(
+                        server, loop, instances, round_no % 2
+                    )
+                    for item in settled:
+                        if isinstance(item, Exception):
+                            # bounded retries can exhaust mid-crash;
+                            # only the typed code may surface
+                            assert isinstance(item, RemoteError), item
+                            assert item.code == ErrorCode.WORKER_LOST
+                    mine = [
+                        r for r in rec.spans() if r["trace"] == trace_id
+                    ]
+                    failed = [
+                        r
+                        for r in mine
+                        if r["name"] == "service.shard.worker"
+                        and (r.get("attrs") or {}).get("error")
+                        == "worker-lost"
+                    ]
+                    if failed:
+                        break
+                assert failed, (
+                    "no burst round captured a worker-lost hop span"
+                )
+                # the retry leg succeeded under the *same* trace id
+                retried = [
+                    r
+                    for r in mine
+                    if r["name"] == "service.shard.worker"
+                    and "error" not in (r.get("attrs") or {})
+                ]
+                assert retried, "no successful retry hop in the trace"
+                # stitching crossed the process boundary: the trace
+                # holds front-end spans (this pid) and worker spans
+                names = {r["name"] for r in mine}
+                assert "service.request" in names
+                assert "engine.solve" in names
+                assert {r["pid"] for r in mine} - {os.getpid()}, (
+                    "no worker-side spans were stitched in"
+                )
+                wait_all_up(server, timeout=120)
+        finally:
+            trace_mod.RECORDER = old
 
 
 # ---------------------------------------------------------------------------
